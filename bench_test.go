@@ -1,0 +1,266 @@
+// Benchmarks regenerating every paper artifact (see DESIGN.md §2): one
+// testing.B target per figure/claim table, each executing the same code
+// path as `garnet-bench -experiment <id>`, plus micro-benchmarks for the
+// hot paths (wire codec, duplicate filter, dispatch fan-out, payload
+// sealing).
+//
+// Run with: go test -bench=. -benchmem
+package garnet_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	garnet "github.com/garnet-middleware/garnet"
+	"github.com/garnet-middleware/garnet/internal/dispatch"
+	"github.com/garnet-middleware/garnet/internal/experiments"
+	"github.com/garnet-middleware/garnet/internal/filtering"
+	"github.com/garnet-middleware/garnet/internal/receiver"
+	"github.com/garnet-middleware/garnet/internal/security"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Config{Seed: 42, Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, cfg); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// One bench per paper artifact.
+
+func BenchmarkF1EndToEndPipeline(b *testing.B)     { benchExperiment(b, "F1") }
+func BenchmarkF2WireCodec(b *testing.B)            { benchExperiment(b, "F2") }
+func BenchmarkC1CapacityLimits(b *testing.B)       { benchExperiment(b, "C1") }
+func BenchmarkE1DuplicateElimination(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2DispatchFanout(b *testing.B)       { benchExperiment(b, "E2") }
+func BenchmarkE3SharedVsDirect(b *testing.B)       { benchExperiment(b, "E3") }
+func BenchmarkE4RETRIComparison(b *testing.B)      { benchExperiment(b, "E4") }
+func BenchmarkE5LocationInference(b *testing.B)    { benchExperiment(b, "E5") }
+func BenchmarkE6TargetedActuation(b *testing.B)    { benchExperiment(b, "E6") }
+func BenchmarkE7ConflictMediation(b *testing.B)    { benchExperiment(b, "E7") }
+func BenchmarkE8PredictiveCoordination(b *testing.B) {
+	benchExperiment(b, "E8")
+}
+func BenchmarkE9Scalability(b *testing.B)          { benchExperiment(b, "E9") }
+func BenchmarkE10Orphanage(b *testing.B)           { benchExperiment(b, "E10") }
+func BenchmarkE11MultiLevelConsumers(b *testing.B) { benchExperiment(b, "E11") }
+func BenchmarkE12ReturnPathValue(b *testing.B)     { benchExperiment(b, "E12") }
+
+// Micro-benchmarks for the hot paths.
+
+func BenchmarkWireEncode(b *testing.B) {
+	for _, size := range []int{0, 16, 256, 4096} {
+		b.Run(fmt.Sprintf("payload=%d", size), func(b *testing.B) {
+			msg := wire.Message{
+				Stream:  wire.MustStreamID(123456, 7),
+				Seq:     42,
+				Payload: make([]byte, size),
+			}
+			buf := make([]byte, 0, msg.EncodedSize())
+			b.ReportAllocs()
+			b.SetBytes(int64(msg.EncodedSize()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = msg.AppendEncode(buf[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWireDecode(b *testing.B) {
+	for _, size := range []int{0, 16, 256, 4096} {
+		b.Run(fmt.Sprintf("payload=%d", size), func(b *testing.B) {
+			msg := wire.Message{
+				Stream:  wire.MustStreamID(123456, 7),
+				Seq:     42,
+				Payload: make([]byte, size),
+			}
+			frame, err := msg.Encode()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.SetBytes(int64(len(frame)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := wire.DecodeMessage(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFilterIngest(b *testing.B) {
+	for _, dup := range []int{1, 3, 6} {
+		b.Run(fmt.Sprintf("copies=%d", dup), func(b *testing.B) {
+			f := filtering.New(func(filtering.Delivery) {}, filtering.Options{})
+			id := wire.MustStreamID(1, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rc := receiver.Reception{
+					Msg: wire.Message{Stream: id, Seq: wire.Seq(i)},
+				}
+				for c := 0; c < dup; c++ {
+					f.Ingest(rc)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDispatchFanout(b *testing.B) {
+	for _, consumers := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("consumers=%d", consumers), func(b *testing.B) {
+			clock := garnet.NewVirtualClock(time.Unix(0, 0))
+			g := garnet.New(garnet.WithClock(clock), garnet.WithSecret([]byte("bench")))
+			defer g.Stop()
+			tok, err := g.Register("bench", garnet.PermSubscribe)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink := 0
+			for c := 0; c < consumers; c++ {
+				if _, err := g.Subscribe(tok, garnet.Exact(garnet.MustStreamID(1, 0)), &garnet.ConsumerFunc{
+					ConsumerName: fmt.Sprintf("c%d", c),
+					Fn:           func(garnet.Delivery) { sink++ },
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			g.Start()
+			core := g.Core()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.InjectReception(receiver.Reception{
+					Msg: wire.Message{Stream: wire.MustStreamID(1, 0), Seq: wire.Seq(i)},
+					At:  clock.Now(), Receiver: "bench", RSSI: 1,
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkSealOpen(b *testing.B) {
+	key := make([]byte, 32)
+	stream := wire.MustStreamID(1, 0)
+	payload := make([]byte, 64)
+	b.Run("seal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := security.Seal(key, stream, wire.Seq(i), payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("open", func(b *testing.B) {
+		sealed, err := security.Seal(key, stream, 7, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := security.Open(key, stream, 7, sealed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Ablation benchmarks for the design choices DESIGN.md §3 calls out.
+
+// Ablation: duplicate-window size. Larger windows tolerate older late
+// arrivals at the cost of per-stream memory; ingest cost should stay flat
+// because the bitmap shift is O(words).
+func BenchmarkAblationFilterWindow(b *testing.B) {
+	for _, window := range []int{64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			f := filtering.New(func(filtering.Delivery) {}, filtering.Options{WindowSize: window})
+			id := wire.MustStreamID(1, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Ingest(receiver.Reception{Msg: wire.Message{Stream: id, Seq: wire.Seq(i)}})
+			}
+		})
+	}
+}
+
+// Ablation: bounded reordering. The reorder stage buys sequence-ordered
+// delivery for one timer and one sorted insert per message.
+func BenchmarkAblationReorderWindow(b *testing.B) {
+	for _, reorder := range []bool{false, true} {
+		name := "off"
+		if reorder {
+			name = "on"
+		}
+		b.Run("reorder="+name, func(b *testing.B) {
+			clock := garnet.NewVirtualClock(time.Unix(0, 0))
+			opts := filtering.Options{}
+			if reorder {
+				opts = filtering.Options{ReorderWindow: 50 * time.Millisecond, Clock: clock}
+			}
+			f := filtering.New(func(filtering.Delivery) {}, opts)
+			id := wire.MustStreamID(1, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Ingest(receiver.Reception{
+					Msg: wire.Message{Stream: id, Seq: wire.Seq(i)},
+					At:  clock.Now(),
+				})
+				if reorder && i%256 == 255 {
+					clock.Advance(time.Second) // drain pending buffers
+				}
+			}
+		})
+	}
+}
+
+// Ablation: synchronous vs asynchronous dispatch. Async pays queue+worker
+// overhead per delivery in exchange for slow-consumer isolation.
+func BenchmarkAblationDispatchMode(b *testing.B) {
+	for _, mode := range []string{"sync", "async"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			opts := dispatch.Options{}
+			if mode == "async" {
+				opts = dispatch.Options{Mode: dispatch.ModeAsync, QueueCapacity: 4096}
+			}
+			d := dispatch.New(opts)
+			var sink atomic.Int64
+			for c := 0; c < 8; c++ {
+				if _, err := d.Subscribe(&dispatch.ConsumerFunc{
+					ConsumerName: fmt.Sprintf("c%d", c),
+					Fn:           func(filtering.Delivery) { sink.Add(1) },
+				}, dispatch.All()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			d.Start()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Dispatch(filtering.Delivery{Msg: wire.Message{Stream: wire.MustStreamID(1, 0), Seq: wire.Seq(i)}})
+			}
+			b.StopTimer()
+			d.Stop()
+		})
+	}
+}
+
+// BenchmarkX1MultiHopRelaying regenerates the §8 extension table.
+func BenchmarkX1MultiHopRelaying(b *testing.B) { benchExperiment(b, "X1") }

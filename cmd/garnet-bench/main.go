@@ -1,0 +1,57 @@
+// Command garnet-bench regenerates the paper's tables and figures as
+// described in DESIGN.md §2 and EXPERIMENTS.md.
+//
+// Usage:
+//
+//	garnet-bench                  # run every experiment
+//	garnet-bench -experiment E5   # run one experiment
+//	garnet-bench -quick           # reduced sweeps (smoke run)
+//	garnet-bench -seed 7          # change the deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "garnet-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (F1, F2, C1, E1..E12) or \"all\"")
+		seed       = flag.Uint64("seed", 42, "deterministic seed")
+		quick      = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	if *experiment != "all" {
+		table, err := experiments.Run(*experiment, cfg)
+		if err != nil {
+			return err
+		}
+		table.Render(os.Stdout)
+		return nil
+	}
+	start := time.Now()
+	for _, e := range experiments.All() {
+		t0 := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		table.Render(os.Stdout)
+		fmt.Fprintf(os.Stdout, "  [%s completed in %v]\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stdout, "all experiments completed in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,127 @@
+package garnet_test
+
+import (
+	"fmt"
+	"time"
+
+	garnet "github.com/garnet-middleware/garnet"
+)
+
+// Example demonstrates the minimal publish/subscribe round trip: one
+// receiver, one sensor, one consumer, on a deterministic virtual clock.
+func Example() {
+	clock := garnet.NewVirtualClock(time.Date(2003, 5, 19, 9, 0, 0, 0, time.UTC))
+	g := garnet.New(
+		garnet.WithClock(clock),
+		garnet.WithSecret([]byte("example-secret")),
+	)
+	defer g.Stop()
+
+	g.AddReceiver(garnet.ReceiverConfig{Position: garnet.Pt(0, 0), Radius: 100})
+	if _, err := g.AddSensor(garnet.SensorConfig{
+		ID:       1,
+		Mobility: garnet.Static{P: garnet.Pt(30, 40)},
+		TxRange:  100,
+		Streams: []garnet.StreamConfig{{
+			Index:   0,
+			Sampler: garnet.FloatSampler(func(time.Time) float64 { return 21.5 }),
+			Period:  time.Second,
+			Enabled: true,
+		}},
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	tok, err := g.Register("example-app", garnet.PermSubscribe)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := g.Subscribe(tok, garnet.BySensor(1), &garnet.ConsumerFunc{
+		ConsumerName: "printer",
+		Fn: func(d garnet.Delivery) {
+			v, _, _ := garnet.DecodeReading(d.Msg.Payload)
+			fmt.Printf("stream %v seq %d: %.1f\n", d.Msg.Stream, d.Msg.Seq, v)
+		},
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	g.Start()
+	clock.Advance(3 * time.Second)
+
+	// Output:
+	// stream 1/0 seq 0: 21.5
+	// stream 1/0 seq 1: 21.5
+	// stream 1/0 seq 2: 21.5
+}
+
+// ExampleDeployment_Actuate shows the return actuation path: a consumer
+// demand is admitted by the Resource Manager, delivered over the downlink,
+// applied by the sensor and acknowledged.
+func ExampleDeployment_Actuate() {
+	clock := garnet.NewVirtualClock(time.Date(2003, 5, 19, 9, 0, 0, 0, time.UTC))
+	g := garnet.New(garnet.WithClock(clock), garnet.WithSecret([]byte("example-secret")))
+	defer g.Stop()
+
+	g.AddReceiver(garnet.ReceiverConfig{Position: garnet.Pt(0, 0), Radius: 100})
+	g.AddTransmitter(garnet.TransmitterConfig{Position: garnet.Pt(0, 0), Range: 100})
+	node, err := g.AddSensor(garnet.SensorConfig{
+		ID:           7,
+		Capabilities: garnet.CapReceive,
+		Mobility:     garnet.Static{P: garnet.Pt(10, 0)},
+		TxRange:      100,
+		Streams: []garnet.StreamConfig{{
+			Index:   0,
+			Sampler: garnet.SizedSampler(8),
+			Period:  time.Second,
+			Enabled: true,
+		}},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tok, err := g.Register("controller", garnet.PermActuate)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	g.Start()
+	clock.Advance(time.Second)
+
+	dec, err := g.Actuate(tok, garnet.Demand{
+		Target: garnet.MustStreamID(7, 0),
+		Op:     garnet.OpSetRate,
+		Value:  4000, // 4 Hz in millihertz
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	clock.Advance(3 * time.Second)
+
+	period, _ := node.StreamPeriod(0)
+	fmt.Println("verdict:", dec.Verdict)
+	fmt.Println("sensor period:", period)
+	fmt.Println("acked:", g.Stats().Actuation.Acked)
+
+	// Output:
+	// verdict: approved
+	// sensor period: 250ms
+	// acked: 1
+}
+
+// ExampleParseConstraints shows the codified sensor-constraint language
+// the Resource Manager enforces (§8 future work, implemented here).
+func ExampleParseConstraints() {
+	c, err := garnet.ParseConstraints("rate<=10/s; rate>=6/min; payload<=1024; streams<=4")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(c)
+
+	// Output:
+	// rate<=10000mHz; rate>=100mHz; payload<=1024; streams<=4
+}

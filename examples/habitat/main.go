@@ -1,0 +1,156 @@
+// Habitat monitoring — the motivating deployment class the paper cites
+// from Mainwaring et al. (WSNA 2002): a field of climate sensors with
+// overlapping receiver coverage, mutually-unaware research groups
+// consuming the same streams, a late-arriving analyst claiming buffered
+// data from the Orphanage, and a derived daily-statistics stream built by
+// a multi-level consumer.
+//
+// Run with: go run ./examples/habitat
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	garnet "github.com/garnet-middleware/garnet"
+)
+
+const (
+	tempStream = garnet.StreamIndex(0)
+	humStream  = garnet.StreamIndex(1)
+)
+
+func main() {
+	start := time.Date(2003, 5, 19, 0, 0, 0, 0, time.UTC)
+	clock := garnet.NewVirtualClock(start)
+	g := garnet.New(
+		garnet.WithClock(clock),
+		garnet.WithSecret([]byte("habitat-secret")),
+		garnet.WithRadio(garnet.RadioParams{LossProb: 0.15, DelayMin: time.Millisecond, DelayMax: 8 * time.Millisecond, Seed: 7}),
+	)
+	defer g.Stop()
+
+	// Nine overlapping receivers over a 600×600 m reserve: duplication is
+	// deliberate (reception robustness), the filter removes it.
+	bounds := garnet.RectWH(0, 0, 600, 600)
+	for i, p := range garnet.GridPositions(bounds, 9) {
+		g.AddReceiver(garnet.ReceiverConfig{Name: fmt.Sprintf("rx-%d", i), Position: p, Radius: 350})
+	}
+
+	// Twelve climate sensors, each with temperature and humidity streams.
+	for i, p := range garnet.RandomPositions(bounds, 12, 99) {
+		id := garnet.SensorID(i + 1)
+		phase := float64(i)
+		if _, err := g.AddSensor(garnet.SensorConfig{
+			ID:       id,
+			Mobility: garnet.Static{P: p},
+			TxRange:  400,
+			Streams: []garnet.StreamConfig{
+				{
+					Index: tempStream,
+					Sampler: garnet.FloatSampler(func(at time.Time) float64 {
+						hours := at.Sub(start).Hours()
+						return 12 + 8*math.Sin(2*math.Pi*hours/12) + phase/10
+					}),
+					Period:  30 * time.Second,
+					Enabled: true,
+				},
+				{
+					Index: humStream,
+					Sampler: garnet.FloatSampler(func(at time.Time) float64 {
+						hours := at.Sub(start).Hours()
+						return 70 - 15*math.Sin(2*math.Pi*(hours-8)/24) + phase/5
+					}),
+					Period:  time.Minute,
+					Enabled: true,
+				},
+			},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Research group A: alarms on temperature extremes, unaware of B.
+	tokA, err := g.Register("climate-alarms", garnet.PermSubscribe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alarms := 0
+	detector := garnet.NewThresholdDetector("heat-alarm", 19.0, 0.5, func(e garnet.Event) {
+		alarms++
+		if alarms <= 3 {
+			fmt.Printf("  [alarm] sensor %d crossed %.1f°C at %s (rising=%v)\n",
+				e.Stream.Sensor(), e.Value, e.At.Format("15:04"), e.Rising)
+		}
+	}, nil)
+	if _, err := g.Subscribe(tokA, garnet.Where(func(m garnet.Message) bool {
+		return m.Stream.Index() == tempStream
+	}), detector); err != nil {
+		log.Fatal(err)
+	}
+
+	// Research group B: builds an hourly-mean derived stream from sensor 1
+	// (a multi-level consumer; 120 temperature samples per hour).
+	tokB, err := g.Register("hourly-stats", garnet.PermSubscribe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hourly, err := g.NewDerivedStream(tokB, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg := garnet.NewWindowAggregator("hourly-mean", hourly, 120, garnet.AggregateMean)
+	if _, err := g.Subscribe(tokB, garnet.Exact(garnet.MustStreamID(1, tempStream)), agg); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := g.Subscribe(tokB, garnet.Exact(hourly.Stream()), &garnet.ConsumerFunc{
+		ConsumerName: "hourly-printer",
+		Fn: func(d garnet.Delivery) {
+			v, at, _ := garnet.DecodeReading(d.Msg.Payload)
+			fmt.Printf("  [hourly] sensor 1 mean %.2f°C at %s (derived stream %v)\n",
+				v, at.Format("15:04"), d.Msg.Stream)
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	g.Start()
+	fmt.Println("habitat: simulating 6 hours of a 12-sensor reserve")
+	clock.Advance(6 * time.Hour)
+
+	// A late analyst arrives: humidity streams were never subscribed, so
+	// the Orphanage has been holding them.
+	tokC, err := g.Register("late-analyst", garnet.PermSubscribe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	orphans, err := g.Orphans(tokC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\norphanage holds %d unclaimed streams; claiming sensor 3's humidity backlog:\n", len(orphans))
+	backlog, err := g.Claim(tokC, garnet.MustStreamID(3, humStream))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  recovered %d buffered humidity readings; last three:\n", len(backlog))
+	for _, d := range backlog[max(0, len(backlog)-3):] {
+		v, at, _ := garnet.DecodeReading(d.Msg.Payload)
+		fmt.Printf("    %s  %.1f%% RH\n", at.Format("15:04"), v)
+	}
+
+	st := g.Stats()
+	fmt.Printf("\nsummary: %d receptions → %d unique (%.1f× duplication removed), %d alarms, orphanage evictions=%d\n",
+		st.Filter.Received, st.Filter.Delivered,
+		float64(st.Filter.Received)/float64(st.Filter.Delivered),
+		alarms, st.Orphanage.StreamsEvicted)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,430 @@
+// Package garnet is a Go implementation of Garnet, the data-stream-centric
+// middleware for wireless sensor networks described in:
+//
+//	L. St. Ville and P. Dickman. “Garnet: A Middleware Architecture for
+//	Distributing Data Streams Originating in Wireless Sensor Networks.”
+//	Proc. 23rd ICDCS Workshops, pp. 235–240, Providence, RI, May 2003.
+//
+// Garnet treats data streams — not devices — as the primary abstraction.
+// Mobile sensors transmit over an unreliable wireless medium into a fixed
+// network of overlapping receivers; the middleware reconstructs streams
+// (duplicate elimination), dispatches them to mutually-unaware
+// publish/subscribe consumers, infers sensor locations from reception
+// evidence plus application hints, and offers a return actuation path
+// through which consumers manipulate sensor behaviour, mediated by a
+// resource manager and anticipated by a predictive super coordinator.
+//
+// A minimal deployment:
+//
+//	g := garnet.New(garnet.WithSecret([]byte("deployment-secret")))
+//	g.AddReceiver(garnet.ReceiverConfig{Position: garnet.Pt(0, 0), Radius: 100})
+//	node, _ := g.AddSensor(garnet.SensorConfig{
+//		ID: 1, Mobility: garnet.Static{P: garnet.Pt(10, 10)}, TxRange: 100,
+//		Streams: []garnet.StreamConfig{{
+//			Index:   0,
+//			Sampler: garnet.FloatSampler(readThermometer),
+//			Period:  time.Second, Enabled: true,
+//		}},
+//	})
+//	tok, _ := g.Register("my-app", garnet.PermSubscribe)
+//	g.Subscribe(tok, garnet.BySensor(node.ID()), myConsumer)
+//	g.Start()
+//	defer g.Stop()
+//
+// Every privileged operation takes the bearer token issued by Register and
+// is checked against the consumer's permissions, including the protected
+// location streams (PermLocation) and trusted state reporting to the super
+// coordinator (PermTrusted).
+package garnet
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/actuation"
+	"github.com/garnet-middleware/garnet/internal/consumer"
+	"github.com/garnet-middleware/garnet/internal/coordinator"
+	"github.com/garnet-middleware/garnet/internal/core"
+	"github.com/garnet-middleware/garnet/internal/dispatch"
+	"github.com/garnet-middleware/garnet/internal/filtering"
+	"github.com/garnet-middleware/garnet/internal/receiver"
+	"github.com/garnet-middleware/garnet/internal/registry"
+	"github.com/garnet-middleware/garnet/internal/resource"
+	"github.com/garnet-middleware/garnet/internal/sensor"
+	"github.com/garnet-middleware/garnet/internal/transmit"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// Option configures a Deployment.
+type Option func(*core.Config)
+
+// WithClock runs the deployment on the given clock (a VirtualClock makes
+// whole deployments deterministic and replayable).
+func WithClock(c Clock) Option {
+	return func(cfg *core.Config) { cfg.Clock = c }
+}
+
+// WithSecret sets the registry signing secret. Required.
+func WithSecret(secret []byte) Option {
+	return func(cfg *core.Config) { cfg.Secret = secret }
+}
+
+// WithRadio configures the simulated wireless medium's impairments.
+func WithRadio(p RadioParams) Option {
+	return func(cfg *core.Config) { cfg.Radio = p }
+}
+
+// WithPolicy selects the Resource Manager's conflict-mediation policy.
+func WithPolicy(p Policy) Option {
+	return func(cfg *core.Config) { cfg.Policy = p }
+}
+
+// WithAsyncDispatch switches consumer delivery to per-consumer bounded
+// queues drained by worker goroutines (for real-time deployments where
+// consumers may be slow).
+func WithAsyncDispatch(queueCapacity int) Option {
+	return func(cfg *core.Config) {
+		cfg.Dispatch.Mode = dispatch.ModeAsync
+		cfg.Dispatch.QueueCapacity = queueCapacity
+	}
+}
+
+// WithReorderWindow holds deliveries up to d and releases them in sequence
+// order (bounded-latency ordering on top of duplicate elimination).
+func WithReorderWindow(d time.Duration) Option {
+	return func(cfg *core.Config) { cfg.Filter.ReorderWindow = d }
+}
+
+// WithActuationRetry tunes the Actuation Service's retry loop.
+func WithActuationRetry(interval time.Duration, maxAttempts int) Option {
+	return func(cfg *core.Config) {
+		cfg.Actuation = actuation.Options{RetryInterval: interval, MaxAttempts: maxAttempts}
+	}
+}
+
+// WithLocationPublishing publishes location estimates as data streams on
+// the reserved index at the given period.
+func WithLocationPublishing(period time.Duration) Option {
+	return func(cfg *core.Config) { cfg.LocationPublishPeriod = period }
+}
+
+// WithPredictiveCoordination turns on the Super Coordinator's predictive
+// policy: the demands of a consumer's anticipated next state are pre-armed
+// `horizon` before the expected transition, once predictions reach
+// minConfidence.
+func WithPredictiveCoordination(horizon time.Duration, minConfidence float64) Option {
+	return func(cfg *core.Config) {
+		cfg.Coordinator = coordinator.Options{
+			Mode:          coordinator.ModePredictive,
+			Horizon:       horizon,
+			MinConfidence: minConfidence,
+		}
+	}
+}
+
+// WithCensusPolicy lets the Super Coordinator switch the Resource
+// Manager's mediation policy based on the global consumer-state census —
+// §4.2: “the Super Coordinator may invoke policy changes in the strategy
+// used by the Resource Manager.” selector is called after every state
+// report; returning 0 keeps the current policy.
+func WithCensusPolicy(selector func(census map[string]int) Policy) Option {
+	return func(cfg *core.Config) { cfg.Coordinator.PolicySelector = selector }
+}
+
+// WithFloodingReplicator disables location-targeted actuation: every
+// control message is broadcast by every transmitter (the location-neutral
+// baseline).
+func WithFloodingReplicator() Option {
+	return func(cfg *core.Config) { cfg.Replicator.Targeted = false }
+}
+
+// WithTargetedReplicator enables location-targeted actuation with the
+// given uncertainty margin (the default behaviour; margin 0 keeps the
+// default 1.5).
+func WithTargetedReplicator(margin float64) Option {
+	return func(cfg *core.Config) {
+		cfg.Replicator.Targeted = true
+		cfg.Replicator.Margin = margin
+	}
+}
+
+// Deployment is a running Garnet middleware instance together with its
+// (simulated) sensor field. Create one with New, populate it with
+// receivers, transmitters and sensors, then Start it.
+type Deployment struct {
+	core *core.Deployment
+}
+
+// New assembles a Deployment. A secret must be provided via WithSecret.
+func New(opts ...Option) *Deployment {
+	var cfg core.Config
+	cfg.Replicator.Targeted = true // location-targeted actuation by default
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Deployment{core: core.New(cfg)}
+}
+
+// Start brings the deployment up. Idempotent.
+func (g *Deployment) Start() { g.core.Start() }
+
+// Stop shuts the deployment down, draining queues. Idempotent.
+func (g *Deployment) Stop() { g.core.Stop() }
+
+// Clock returns the deployment clock.
+func (g *Deployment) Clock() Clock { return g.core.Clock() }
+
+// AddReceiver places a receiver (operator-level; no token required).
+func (g *Deployment) AddReceiver(cfg ReceiverConfig) { g.core.AddReceiver(cfg) }
+
+// AddTransmitter places a transmitter.
+func (g *Deployment) AddTransmitter(cfg TransmitterConfig) { g.core.AddTransmitter(cfg) }
+
+// AddSensor adds a sensor node to the simulated field.
+func (g *Deployment) AddSensor(cfg SensorConfig) (*SensorNode, error) {
+	return g.core.AddSensor(cfg)
+}
+
+// SetConstraints codifies a sensor's operating limits (see
+// ParseConstraints for the textual form).
+func (g *Deployment) SetConstraints(id SensorID, c Constraints) {
+	g.core.ResourceManager().SetConstraints(id, c)
+}
+
+// SetDefaultConstraints applies limits to all sensors without specific
+// constraints.
+func (g *Deployment) SetDefaultConstraints(c Constraints) {
+	g.core.ResourceManager().SetDefaultConstraints(c)
+}
+
+// Register creates a consumer identity with the given permissions and
+// returns its bearer token.
+func (g *Deployment) Register(name string, perms Permission) (Token, error) {
+	return g.core.Registry().Register(name, perms)
+}
+
+// Revoke invalidates a consumer's tokens.
+func (g *Deployment) Revoke(name string) bool { return g.core.Registry().Revoke(name) }
+
+// Subscribe attaches consumer c to the streams matching pattern. It
+// requires PermSubscribe; patterns that can select the protected location
+// streams additionally require PermLocation — broad (All/Where) patterns
+// from consumers without it are transparently narrowed to exclude
+// location streams.
+func (g *Deployment) Subscribe(tok Token, pattern Pattern, c Consumer) (SubscriptionID, error) {
+	id, err := g.core.Registry().Require(tok, registry.PermSubscribe)
+	if err != nil {
+		return 0, err
+	}
+	hasLoc := id.Permissions.Has(registry.PermLocation)
+	switch pattern.Kind {
+	case dispatch.KindExact:
+		if pattern.Stream.Index() == wire.LocationStreamIndex && !hasLoc {
+			return 0, fmt.Errorf("%w: %q lacks location", registry.ErrPermission, id.Name)
+		}
+	case dispatch.KindSensor:
+		if !hasLoc {
+			// Narrow to the sensor's ordinary streams.
+			sensorID := pattern.Sensor
+			pattern = dispatch.Where(func(m wire.Message) bool {
+				return m.Stream.Sensor() == sensorID && m.Stream.Index() != wire.LocationStreamIndex
+			})
+		}
+	case dispatch.KindAll:
+		if !hasLoc {
+			pattern = dispatch.Where(func(m wire.Message) bool {
+				return m.Stream.Index() != wire.LocationStreamIndex
+			})
+		}
+	case dispatch.KindWhere:
+		if !hasLoc {
+			inner := pattern.Where
+			pattern = dispatch.Where(func(m wire.Message) bool {
+				return m.Stream.Index() != wire.LocationStreamIndex && inner(m)
+			})
+		}
+	}
+	return g.core.Dispatcher().Subscribe(c, pattern)
+}
+
+// Unsubscribe removes a subscription.
+func (g *Deployment) Unsubscribe(id SubscriptionID) bool {
+	return g.core.Dispatcher().Unsubscribe(id)
+}
+
+// Discover lists the streams the middleware has seen (PermSubscribe).
+func (g *Deployment) Discover(tok Token) ([]StreamInfo, error) {
+	if _, err := g.core.Registry().Require(tok, registry.PermSubscribe); err != nil {
+		return nil, err
+	}
+	return g.core.Dispatcher().Discover(), nil
+}
+
+// Orphans lists the unclaimed streams held by the Orphanage
+// (PermSubscribe).
+func (g *Deployment) Orphans(tok Token) ([]OrphanInfo, error) {
+	if _, err := g.core.Registry().Require(tok, registry.PermSubscribe); err != nil {
+		return nil, err
+	}
+	return g.core.Orphanage().Streams(), nil
+}
+
+// Claim atomically hands over the Orphanage backlog of an unclaimed
+// stream to a late subscriber (PermSubscribe).
+func (g *Deployment) Claim(tok Token, stream StreamID) ([]Delivery, error) {
+	if _, err := g.core.Registry().Require(tok, registry.PermSubscribe); err != nil {
+		return nil, err
+	}
+	backlog, _ := g.core.Orphanage().Claim(stream)
+	return backlog, nil
+}
+
+// SubscribeWithBacklog subscribes c to a single stream and, when the
+// Orphanage holds a backlog for it, replays the buffered messages into c
+// (oldest first) before live delivery begins — the complete late-subscriber
+// handover in one call. It returns the subscription id and how many
+// backlog messages were replayed.
+func (g *Deployment) SubscribeWithBacklog(tok Token, stream StreamID, c Consumer) (SubscriptionID, int, error) {
+	if _, err := g.core.Registry().Require(tok, registry.PermSubscribe); err != nil {
+		return 0, 0, err
+	}
+	if stream.Index() == wire.LocationStreamIndex {
+		if _, err := g.core.Registry().Require(tok, registry.PermLocation); err != nil {
+			return 0, 0, err
+		}
+	}
+	// Subscribe first so nothing slips between replay and live delivery;
+	// the duplicate filter upstream guarantees the backlog and live flow
+	// never overlap in sequence numbers.
+	id, err := g.core.Dispatcher().Subscribe(c, dispatch.Exact(stream))
+	if err != nil {
+		return 0, 0, err
+	}
+	backlog, _ := g.core.Orphanage().Claim(stream)
+	for _, d := range backlog {
+		c.Consume(d)
+	}
+	return id, len(backlog), nil
+}
+
+// Actuate submits a stream-setting demand through admission control
+// (PermActuate) and, when the effective sensor configuration changes,
+// issues the stream-update request down the actuation path. The demand's
+// Consumer field is overwritten with the token's identity.
+func (g *Deployment) Actuate(tok Token, d Demand) (Decision, error) {
+	id, err := g.core.Registry().Require(tok, registry.PermActuate)
+	if err != nil {
+		return Decision{}, err
+	}
+	d.Consumer = id.Name
+	return g.core.SubmitDemand(d)
+}
+
+// WithdrawDemand removes the caller's standing demand on (target, class),
+// actuating any relaxation (PermActuate).
+func (g *Deployment) WithdrawDemand(tok Token, target StreamID, class DemandClass) (Decision, bool, error) {
+	id, err := g.core.Registry().Require(tok, registry.PermActuate)
+	if err != nil {
+		return Decision{}, false, err
+	}
+	dec, ok := g.core.WithdrawDemand(id.Name, target, class)
+	return dec, ok, nil
+}
+
+// Ping probes a sensor's reachability (PermActuate): it bypasses demand
+// mediation (a ping changes nothing) and reports asynchronously whether
+// the sensor acknowledged.
+func (g *Deployment) Ping(tok Token, target StreamID, done func(acked bool)) error {
+	id, err := g.core.Registry().Require(tok, registry.PermActuate)
+	if err != nil {
+		return err
+	}
+	var cb func(actuation.Result)
+	if done != nil {
+		cb = func(r actuation.Result) { done(r.Outcome == actuation.OutcomeAcked) }
+	}
+	_, err = g.core.ActuationService().Issue(actuation.Request{
+		Target: target, Op: wire.OpPing, Consumer: id.Name,
+	}, cb)
+	return err
+}
+
+// Hint supplies a consumer-derived location hint (PermHint).
+func (g *Deployment) Hint(tok Token, sensorID SensorID, pos Point, confidence float64, ttl time.Duration) error {
+	id, err := g.core.Registry().Require(tok, registry.PermHint)
+	if err != nil {
+		return err
+	}
+	return g.core.Location().AddHint(sensorID, pos, confidence, ttl, id.Name)
+}
+
+// Locate returns the Location Service's estimate for a sensor
+// (PermLocation).
+func (g *Deployment) Locate(tok Token, sensorID SensorID) (Estimate, error) {
+	if _, err := g.core.Registry().Require(tok, registry.PermLocation); err != nil {
+		return Estimate{}, err
+	}
+	return g.core.Location().Locate(sensorID)
+}
+
+// RegisterStateModel teaches the Super Coordinator the caller's state
+// machine and the demands each state implies (PermTrusted).
+func (g *Deployment) RegisterStateModel(tok Token, demandsByState map[string][]Demand) error {
+	id, err := g.core.Registry().Require(tok, registry.PermTrusted)
+	if err != nil {
+		return err
+	}
+	return g.core.Coordinator().Register(id.Name, demandsByState)
+}
+
+// ReportState forwards a trusted consumer's state change to the Super
+// Coordinator (PermTrusted), which applies (or has pre-armed) the state's
+// demands.
+func (g *Deployment) ReportState(tok Token, state string) error {
+	id, err := g.core.Registry().Require(tok, registry.PermTrusted)
+	if err != nil {
+		return err
+	}
+	return g.core.Coordinator().ReportState(id.Name, state)
+}
+
+// PredictNext exposes the Super Coordinator's prediction for the caller's
+// next state change (PermTrusted).
+func (g *Deployment) PredictNext(tok Token) (Prediction, bool, error) {
+	id, err := g.core.Registry().Require(tok, registry.PermTrusted)
+	if err != nil {
+		return Prediction{}, false, err
+	}
+	p, ok := g.core.Coordinator().PredictNext(id.Name)
+	return p, ok, nil
+}
+
+// NewDerivedStream allocates a virtual sensor id and returns a publisher
+// for a derived stream on it (PermSubscribe — every consumer may derive).
+// The derived stream flows through the same dispatching, discovery and
+// orphanage machinery as physical streams.
+func (g *Deployment) NewDerivedStream(tok Token, index StreamIndex, flags Flags) (*DerivedStream, error) {
+	if _, err := g.core.Registry().Require(tok, registry.PermSubscribe); err != nil {
+		return nil, err
+	}
+	vid := g.core.AllocateVirtualSensor()
+	return consumer.NewDerivedStream(g.core, wire.MustStreamID(vid, index), flags), nil
+}
+
+// Stats aggregates every service's statistics.
+func (g *Deployment) Stats() Snapshot { return g.core.Stats() }
+
+// Core exposes the underlying assembly for advanced integrations and the
+// experiment harness.
+func (g *Deployment) Core() *core.Deployment { return g.core }
+
+// Ensure interface satisfaction where the facade promises it.
+var (
+	_ consumer.Publisher = (*core.Deployment)(nil)
+	_ dispatch.Consumer  = (*consumer.Recorder)(nil)
+	_ sensor.Sampler     = Sampler(nil)
+	_                    = filtering.DefaultWindowSize
+	_                    = receiver.Config{}
+	_                    = transmit.Config{}
+	_                    = resource.Demand{}
+)

@@ -1,0 +1,316 @@
+// Package actuation implements the Actuation Service of §4.2: after the
+// Resource Manager approves a stream-update request, this service
+// “processes the request with timestamps, and checksums, before forwarding
+// to the message replicator”.
+//
+// Because the downlink is as unreliable as the uplink, the service also
+// tracks every outstanding request and retries it until the target
+// sensor's acknowledgement (the update id piggy-backed on a data message,
+// wire.FlagUpdateAck) is observed or the retry budget is exhausted. The
+// request-to-acknowledgement latency distribution it records is the metric
+// the Super Coordinator's predictive policies exist to improve.
+package actuation
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/sim"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// Request is an approved stream-update request entering the service.
+type Request struct {
+	Target   wire.StreamID
+	Op       wire.Op
+	Param    uint8
+	Value    uint32
+	Consumer string // originating consumer, for diagnostics
+}
+
+// Outcome reports how an issued request ended.
+type Outcome int
+
+const (
+	// OutcomeAcked means the sensor acknowledged the request.
+	OutcomeAcked Outcome = iota + 1
+	// OutcomeExpired means the retry budget ran out without an ack —
+	// expected for simple transmit-only sensors and roaming sensors.
+	OutcomeExpired
+	// OutcomeCancelled means the service was stopped first.
+	OutcomeCancelled
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAcked:
+		return "acked"
+	case OutcomeExpired:
+		return "expired"
+	case OutcomeCancelled:
+		return "cancelled"
+	default:
+		return "outcome(?)"
+	}
+}
+
+// Result is delivered to the completion callback of Issue.
+type Result struct {
+	UpdateID uint16
+	Request  Request
+	Outcome  Outcome
+	Attempts int
+	Latency  time.Duration // issue → ack; zero unless acked
+}
+
+// Options configures the Service.
+type Options struct {
+	// RetryInterval separates transmission attempts. Default 2s.
+	RetryInterval time.Duration
+	// MaxAttempts bounds transmissions per request (first + retries).
+	// Default 5.
+	MaxAttempts int
+}
+
+// Stats is a snapshot of service counters.
+type Stats struct {
+	Issued        int64
+	Acked         int64
+	Expired       int64
+	Cancelled     int64
+	Retries       int64
+	DuplicateAcks int64
+	Outstanding   int
+}
+
+// Service is the Actuation Service.
+type Service struct {
+	clock sim.Clock
+	send  func(wire.ControlMessage)
+	opts  Options
+
+	mu          sync.Mutex
+	nextID      uint16
+	outstanding map[uint16]*pending
+	stopped     bool
+
+	issued    metrics.Counter
+	acked     metrics.Counter
+	expired   metrics.Counter
+	cancelled metrics.Counter
+	retries   metrics.Counter
+	dupAcks   metrics.Counter
+	latency   metrics.Histogram
+}
+
+type pending struct {
+	req      Request
+	issuedAt time.Time
+	attempts int
+	timer    sim.Timer
+	done     func(Result)
+}
+
+// Service errors.
+var (
+	ErrStopped   = errors.New("actuation: service stopped")
+	ErrSaturated = errors.New("actuation: all 64K update ids outstanding")
+)
+
+// NewService creates a Service that forwards encoded-ready control
+// messages to send (the Message Replicator). NewService panics on a nil
+// send (programming error).
+func NewService(clock sim.Clock, send func(wire.ControlMessage), opts Options) *Service {
+	if send == nil {
+		panic("actuation: nil send")
+	}
+	if opts.RetryInterval <= 0 {
+		opts.RetryInterval = 2 * time.Second
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 5
+	}
+	return &Service{
+		clock:       clock,
+		send:        send,
+		opts:        opts,
+		outstanding: make(map[uint16]*pending),
+	}
+}
+
+// Issue stamps, tracks and transmits one approved request. done (optional)
+// is invoked exactly once with the final outcome.
+func (s *Service) Issue(req Request, done func(Result)) (uint16, error) {
+	if !req.Op.Valid() {
+		return 0, fmt.Errorf("actuation: %w", wire.ErrBadOp)
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return 0, ErrStopped
+	}
+	id, ok := s.allocateIDLocked()
+	if !ok {
+		s.mu.Unlock()
+		return 0, ErrSaturated
+	}
+	p := &pending{req: req, issuedAt: s.clock.Now(), done: done}
+	s.outstanding[id] = p
+	s.issued.Inc()
+	s.transmitLocked(id, p)
+	s.mu.Unlock()
+	return id, nil
+}
+
+func (s *Service) allocateIDLocked() (uint16, bool) {
+	for i := 0; i < 1<<16; i++ {
+		s.nextID++
+		if _, inUse := s.outstanding[s.nextID]; !inUse {
+			return s.nextID, true
+		}
+	}
+	return 0, false
+}
+
+// transmitLocked sends one attempt and arms the retry timer.
+func (s *Service) transmitLocked(id uint16, p *pending) {
+	p.attempts++
+	if p.attempts > 1 {
+		s.retries.Inc()
+	}
+	msg := wire.ControlMessage{
+		UpdateID: id,
+		Target:   p.req.Target,
+		Op:       p.req.Op,
+		Param:    p.req.Param,
+		Value:    p.req.Value,
+		Issued:   s.clock.Now(), // the §4.2 timestamp
+	}
+	// Send outside the lock: the replicator fans out to transmitters and
+	// the medium, none of which re-enter this service.
+	send := s.send
+	s.mu.Unlock()
+	send(msg)
+	s.mu.Lock()
+	if _, still := s.outstanding[id]; !still {
+		return // acked while transmitting
+	}
+	if p.attempts >= s.opts.MaxAttempts {
+		p.timer = s.clock.AfterFunc(s.opts.RetryInterval, func() { s.expire(id) })
+		return
+	}
+	p.timer = s.clock.AfterFunc(s.opts.RetryInterval, func() { s.retry(id) })
+}
+
+func (s *Service) retry(id uint16) {
+	s.mu.Lock()
+	p, ok := s.outstanding[id]
+	if !ok || s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.transmitLocked(id, p)
+	s.mu.Unlock()
+}
+
+func (s *Service) expire(id uint16) {
+	s.mu.Lock()
+	p, ok := s.outstanding[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.outstanding, id)
+	s.expired.Inc()
+	s.mu.Unlock()
+	if p.done != nil {
+		p.done(Result{UpdateID: id, Request: p.req, Outcome: OutcomeExpired, Attempts: p.attempts})
+	}
+}
+
+// HandleAck completes the outstanding request acknowledged by a data
+// message carrying update id ackID. The deployment core calls this for
+// every delivery with wire.FlagUpdateAck set. Unknown or repeated ids are
+// counted and ignored (acks ride an at-least-once channel).
+func (s *Service) HandleAck(ackID uint16, at time.Time) {
+	s.mu.Lock()
+	p, ok := s.outstanding[ackID]
+	if !ok {
+		s.dupAcks.Inc()
+		s.mu.Unlock()
+		return
+	}
+	delete(s.outstanding, ackID)
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	latency := at.Sub(p.issuedAt)
+	s.acked.Inc()
+	s.latency.ObserveDuration(latency)
+	s.mu.Unlock()
+	if p.done != nil {
+		p.done(Result{
+			UpdateID: ackID,
+			Request:  p.req,
+			Outcome:  OutcomeAcked,
+			Attempts: p.attempts,
+			Latency:  latency,
+		})
+	}
+}
+
+// Outstanding returns the number of unacknowledged requests.
+func (s *Service) Outstanding() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.outstanding)
+}
+
+// Stop cancels all outstanding requests (OutcomeCancelled) and rejects
+// further Issues.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	pendings := make(map[uint16]*pending, len(s.outstanding))
+	for id, p := range s.outstanding {
+		pendings[id] = p
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+	}
+	s.outstanding = make(map[uint16]*pending)
+	s.cancelled.Add(int64(len(pendings)))
+	s.mu.Unlock()
+	for id, p := range pendings {
+		if p.done != nil {
+			p.done(Result{UpdateID: id, Request: p.req, Outcome: OutcomeCancelled, Attempts: p.attempts})
+		}
+	}
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	outstanding := len(s.outstanding)
+	s.mu.Unlock()
+	return Stats{
+		Issued:        s.issued.Value(),
+		Acked:         s.acked.Value(),
+		Expired:       s.expired.Value(),
+		Cancelled:     s.cancelled.Value(),
+		Retries:       s.retries.Value(),
+		DuplicateAcks: s.dupAcks.Value(),
+		Outstanding:   outstanding,
+	}
+}
+
+// Latency exposes the request→ack latency distribution (milliseconds).
+func (s *Service) Latency() *metrics.Histogram { return &s.latency }

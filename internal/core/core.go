@@ -1,0 +1,432 @@
+// Package core assembles the complete Garnet middleware of Figure 1: the
+// simulated wireless medium, the receiver array feeding the Filtering and
+// Location Services, the Dispatching Service with its Orphanage, and the
+// return actuation path (Resource Manager → Actuation Service → Message
+// Replicator → Transmitters), coordinated by the Super Coordinator and
+// guarded by the consumer registry.
+//
+// A Deployment owns every component's lifecycle. The data path is
+//
+//	sensors ⇒ medium ⇒ receivers ⇒ (location service, filter) ⇒
+//	dispatcher ⇒ consumers | orphanage
+//
+// and the control path is
+//
+//	consumer demand ⇒ resource manager (admission + mediation) ⇒
+//	actuation service (ids, timestamps, checksums, retries) ⇒
+//	replicator (location-area targeting) ⇒ transmitters ⇒ medium ⇒ sensor
+//
+// with sensor acknowledgements detected on the data path and fed back to
+// the actuation service.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/actuation"
+	"github.com/garnet-middleware/garnet/internal/consumer"
+	"github.com/garnet-middleware/garnet/internal/coordinator"
+	"github.com/garnet-middleware/garnet/internal/dispatch"
+	"github.com/garnet-middleware/garnet/internal/filtering"
+	"github.com/garnet-middleware/garnet/internal/location"
+	"github.com/garnet-middleware/garnet/internal/orphanage"
+	"github.com/garnet-middleware/garnet/internal/radio"
+	"github.com/garnet-middleware/garnet/internal/receiver"
+	"github.com/garnet-middleware/garnet/internal/registry"
+	"github.com/garnet-middleware/garnet/internal/replicator"
+	"github.com/garnet-middleware/garnet/internal/resource"
+	"github.com/garnet-middleware/garnet/internal/sensor"
+	"github.com/garnet-middleware/garnet/internal/sim"
+	"github.com/garnet-middleware/garnet/internal/transmit"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// Config assembles a Deployment. Zero values select sensible defaults:
+// real clock, perfect radio, synchronous dispatch, most-demanding
+// mediation.
+type Config struct {
+	Clock       sim.Clock
+	Radio       radio.Params
+	Filter      filtering.Options
+	Dispatch    dispatch.Options
+	Orphanage   orphanage.Options
+	Location    location.Options
+	Actuation   actuation.Options
+	Replicator  replicator.Options
+	Coordinator coordinator.Options
+	Policy      resource.Policy
+	// Secret signs registry tokens. Required.
+	Secret []byte
+	// LocationPublishPeriod, when positive, publishes location estimates
+	// as data streams (reserved index) at this period.
+	LocationPublishPeriod time.Duration
+}
+
+// Deployment is a fully wired Garnet fixed-network instance plus the
+// simulated field attached to it.
+type Deployment struct {
+	clock  sim.Clock
+	medium *radio.Medium
+
+	filter     *filtering.Filter
+	dispatcher *dispatch.Dispatcher
+	orphan     *orphanage.Orphanage
+	locSvc     *location.Service
+	registry   *registry.Registry
+	rm         *resource.Manager
+	acts       *actuation.Service
+	repl       *replicator.Replicator
+	coord      *coordinator.Coordinator
+
+	mu           sync.Mutex
+	receivers    []*receiver.Receiver
+	transmitters []*transmit.Transmitter
+	sensors      []*sensor.Node
+	owned        map[string]map[demandKey]resource.Demand // coordinator-managed demand sets
+	nextVirtual  wire.SensorID
+	locTicker    *sim.Ticker
+	started      bool
+	stopped      bool
+}
+
+type demandKey struct {
+	target wire.StreamID
+	class  resource.Class
+}
+
+// ErrLifecycle is returned for operations against a stopped deployment.
+var ErrLifecycle = errors.New("core: deployment stopped")
+
+// New builds a Deployment from cfg. New panics on a missing Secret (a
+// deployment configuration error surfaced at startup, not at first use).
+func New(cfg Config) *Deployment {
+	if cfg.Clock == nil {
+		cfg.Clock = sim.RealClock{}
+	}
+	if len(cfg.Secret) == 0 {
+		panic("core: Config.Secret required")
+	}
+	d := &Deployment{
+		clock:       cfg.Clock,
+		owned:       make(map[string]map[demandKey]resource.Demand),
+		nextVirtual: consumer.VirtualSensorBase,
+	}
+	d.medium = radio.NewMedium(cfg.Clock, cfg.Radio)
+	d.orphan = orphanage.New(cfg.Orphanage)
+	d.dispatcher = dispatch.New(cfg.Dispatch)
+	d.dispatcher.SetOrphanSink(d.orphan.Consume)
+
+	filterOpts := cfg.Filter
+	if filterOpts.ReorderWindow > 0 && filterOpts.Clock == nil {
+		filterOpts.Clock = cfg.Clock
+	}
+	d.filter = filtering.New(d.onFiltered, filterOpts)
+
+	d.locSvc = location.New(cfg.Clock, cfg.Location)
+	d.registry = registry.New(cfg.Secret, cfg.Clock)
+	d.rm = resource.NewManager(cfg.Policy)
+	d.repl = replicator.New(d.locSvc, cfg.Replicator)
+	d.acts = actuation.NewService(cfg.Clock, func(c wire.ControlMessage) {
+		// ErrNoTransmitters is visible through replicator stats; the
+		// actuation retry loop covers transient emptiness.
+		_, _ = d.repl.Send(c)
+	}, cfg.Actuation)
+	coordOpts := cfg.Coordinator
+	if coordOpts.PolicySelector != nil && coordOpts.SetPolicy == nil {
+		coordOpts.SetPolicy = d.rm.SetPolicy
+	}
+	d.coord = coordinator.New(cfg.Clock, coordinator.DemandSinkFunc(d.ApplyDemands), coordOpts)
+
+	if cfg.LocationPublishPeriod > 0 {
+		d.locTicker = sim.NewTicker(cfg.Clock, cfg.LocationPublishPeriod, func(now time.Time) {
+			for _, msg := range d.locSvc.ComposeUpdates() {
+				d.dispatcher.Dispatch(filtering.Delivery{
+					Msg: msg, At: now, Receiver: "location-service", RSSI: 1,
+				})
+			}
+		})
+	}
+	return d
+}
+
+// onFiltered is the filter's sink: it surfaces sensor acknowledgements to
+// the Actuation Service and forwards the delivery to the dispatcher.
+func (d *Deployment) onFiltered(del filtering.Delivery) {
+	if del.Msg.Flags.Has(wire.FlagUpdateAck) {
+		d.acts.HandleAck(del.Msg.AckID, del.At)
+	}
+	d.dispatcher.Dispatch(del)
+}
+
+// AddReceiver creates, registers and (if the deployment is running)
+// starts a receiver. Its reception records feed both the Location Service
+// (pre-filter, duplicates included) and the Filtering Service.
+func (d *Deployment) AddReceiver(cfg receiver.Config) *receiver.Receiver {
+	rx := receiver.New(d.medium, cfg, func(rc receiver.Reception) {
+		// Relayed copies (§8 multi-hop) carry the relay's bearing, not the
+		// source's, so they feed the filter but never location inference.
+		if !rc.Msg.Flags.Has(wire.FlagRelayed) {
+			_ = d.locSvc.ObserveReception(rc) // receiver registered below; cannot fail
+		}
+		d.filter.Ingest(rc)
+	})
+	d.locSvc.RegisterReceiver(rx.Name(), rx.Position(), rx.Radius())
+	d.mu.Lock()
+	d.receivers = append(d.receivers, rx)
+	started := d.started
+	d.mu.Unlock()
+	if started {
+		rx.Start()
+	}
+	return rx
+}
+
+// AddTransmitter creates a transmitter and attaches it to the replicator.
+func (d *Deployment) AddTransmitter(cfg transmit.Config) *transmit.Transmitter {
+	tx := transmit.New(d.medium, cfg)
+	d.repl.AddTransmitter(tx)
+	d.mu.Lock()
+	d.transmitters = append(d.transmitters, tx)
+	d.mu.Unlock()
+	return tx
+}
+
+// AddSensor creates a sensor node in the simulated field and (if the
+// deployment is running) starts it.
+func (d *Deployment) AddSensor(cfg sensor.Config) (*sensor.Node, error) {
+	n, err := sensor.New(d.clock, d.medium, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.sensors = append(d.sensors, n)
+	started := d.started
+	d.mu.Unlock()
+	if started {
+		n.Start()
+	}
+	return n, nil
+}
+
+// Start brings every registered component up. Idempotent.
+func (d *Deployment) Start() {
+	d.mu.Lock()
+	if d.started || d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	receivers := append([]*receiver.Receiver(nil), d.receivers...)
+	sensors := append([]*sensor.Node(nil), d.sensors...)
+	d.mu.Unlock()
+
+	d.dispatcher.Start()
+	for _, rx := range receivers {
+		rx.Start()
+	}
+	for _, n := range sensors {
+		n.Start()
+	}
+}
+
+// Stop tears the deployment down: sensors first (no new uplink), then
+// receivers, the filter's reorder buffers, the dispatcher and the
+// actuation service. Idempotent.
+func (d *Deployment) Stop() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	receivers := append([]*receiver.Receiver(nil), d.receivers...)
+	sensors := append([]*sensor.Node(nil), d.sensors...)
+	locTicker := d.locTicker
+	d.mu.Unlock()
+
+	for _, n := range sensors {
+		n.Stop()
+	}
+	for _, rx := range receivers {
+		rx.Stop()
+	}
+	if locTicker != nil {
+		locTicker.Stop()
+	}
+	d.filter.Flush()
+	d.acts.Stop()
+	d.dispatcher.Stop()
+}
+
+// SubmitDemand runs one demand through admission control and actuates the
+// resulting action when the effective sensor setting changed.
+func (d *Deployment) SubmitDemand(dem resource.Demand) (resource.Decision, error) {
+	dec, err := d.rm.Submit(dem)
+	if err != nil {
+		return dec, err
+	}
+	if dec.Changed && dec.Action != nil {
+		d.actuateAction(*dec.Action, dem.Consumer)
+	}
+	return dec, nil
+}
+
+// WithdrawDemand removes a standing demand and actuates any relaxation.
+func (d *Deployment) WithdrawDemand(consumerName string, target wire.StreamID, class resource.Class) (resource.Decision, bool) {
+	dec, ok := d.rm.Withdraw(consumerName, target, class)
+	if ok && dec.Changed && dec.Action != nil {
+		d.actuateAction(*dec.Action, consumerName)
+	}
+	return dec, ok
+}
+
+func (d *Deployment) actuateAction(a resource.Action, owner string) {
+	_, _ = d.acts.Issue(actuation.Request{
+		Target:   a.Target,
+		Op:       a.Op,
+		Value:    a.Value,
+		Consumer: owner,
+	}, nil)
+}
+
+// ApplyDemands replaces an owner's standing demand set — the Super
+// Coordinator's sink. Demands present in the new set are submitted;
+// demands the owner held before but not any more are withdrawn; every
+// changed effective setting is actuated.
+func (d *Deployment) ApplyDemands(owner string, demands []resource.Demand) {
+	next := make(map[demandKey]resource.Demand, len(demands))
+	for _, dem := range demands {
+		class, ok := resource.ClassOf(dem.Op)
+		if !ok {
+			continue
+		}
+		dem.Consumer = owner
+		next[demandKey{target: dem.Target, class: class}] = dem
+	}
+	d.mu.Lock()
+	prev := d.owned[owner]
+	d.owned[owner] = next
+	d.mu.Unlock()
+
+	for key := range prev {
+		if _, still := next[key]; !still {
+			d.WithdrawDemand(owner, key.target, key.class)
+		}
+	}
+	for _, dem := range next {
+		_, _ = d.SubmitDemand(dem)
+	}
+}
+
+// PublishDerived implements consumer.Publisher: derived messages enter the
+// Dispatching Service directly (their publisher already guarantees unique
+// ascending sequence numbers, so the duplicate filter is unnecessary).
+func (d *Deployment) PublishDerived(msg wire.Message, at time.Time) {
+	d.dispatcher.Dispatch(filtering.Delivery{Msg: msg, At: at, Receiver: "derived", RSSI: 1})
+}
+
+// AllocateVirtualSensor reserves the next virtual sensor id for a
+// derived-stream publisher.
+func (d *Deployment) AllocateVirtualSensor() wire.SensorID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.nextVirtual
+	d.nextVirtual++
+	return id
+}
+
+// InjectReception feeds a hand-built reception into the pipeline exactly
+// as a receiver would (used by tests and the experiment harness to drive
+// the fixed network without a radio field).
+func (d *Deployment) InjectReception(rc receiver.Reception) {
+	d.filter.Ingest(rc)
+}
+
+// Component accessors. The facade package and the experiment harness
+// reach individual services through these.
+
+// Clock returns the deployment clock.
+func (d *Deployment) Clock() sim.Clock { return d.clock }
+
+// Medium returns the simulated wireless medium.
+func (d *Deployment) Medium() *radio.Medium { return d.medium }
+
+// Filter returns the Filtering Service.
+func (d *Deployment) Filter() *filtering.Filter { return d.filter }
+
+// Dispatcher returns the Dispatching Service.
+func (d *Deployment) Dispatcher() *dispatch.Dispatcher { return d.dispatcher }
+
+// Orphanage returns the Orphanage.
+func (d *Deployment) Orphanage() *orphanage.Orphanage { return d.orphan }
+
+// Location returns the Location Service.
+func (d *Deployment) Location() *location.Service { return d.locSvc }
+
+// Registry returns the consumer registry.
+func (d *Deployment) Registry() *registry.Registry { return d.registry }
+
+// ResourceManager returns the Resource Manager.
+func (d *Deployment) ResourceManager() *resource.Manager { return d.rm }
+
+// ActuationService returns the Actuation Service.
+func (d *Deployment) ActuationService() *actuation.Service { return d.acts }
+
+// Replicator returns the Message Replicator.
+func (d *Deployment) Replicator() *replicator.Replicator { return d.repl }
+
+// Coordinator returns the Super Coordinator.
+func (d *Deployment) Coordinator() *coordinator.Coordinator { return d.coord }
+
+// Sensors returns the registered sensor nodes.
+func (d *Deployment) Sensors() []*sensor.Node {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*sensor.Node, len(d.sensors))
+	copy(out, d.sensors)
+	return out
+}
+
+// Snapshot aggregates the headline statistics of every service.
+type Snapshot struct {
+	Filter     filtering.Stats
+	Dispatch   dispatch.Stats
+	Orphanage  orphanage.Stats
+	Resource   resource.Stats
+	Actuation  actuation.Stats
+	Replicator replicator.Stats
+	Coord      coordinator.Stats
+	Receivers  int
+	Txs        int
+	Sensors    int
+}
+
+// Stats returns a consistent-enough snapshot for dashboards and the
+// experiment harness.
+func (d *Deployment) Stats() Snapshot {
+	d.mu.Lock()
+	rx, tx, sn := len(d.receivers), len(d.transmitters), len(d.sensors)
+	d.mu.Unlock()
+	return Snapshot{
+		Filter:     d.filter.Stats(),
+		Dispatch:   d.dispatcher.Stats(),
+		Orphanage:  d.orphan.Stats(),
+		Resource:   d.rm.Stats(),
+		Actuation:  d.acts.Stats(),
+		Replicator: d.repl.Stats(),
+		Coord:      d.coord.Stats(),
+		Receivers:  rx,
+		Txs:        tx,
+		Sensors:    sn,
+	}
+}
+
+// String summarises the deployment.
+func (d *Deployment) String() string {
+	s := d.Stats()
+	return fmt.Sprintf("garnet deployment: %d sensors, %d receivers, %d transmitters, %d streams seen",
+		s.Sensors, s.Receivers, s.Txs, s.Filter.ActiveStreams)
+}

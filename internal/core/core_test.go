@@ -1,0 +1,346 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/actuation"
+	"github.com/garnet-middleware/garnet/internal/consumer"
+	"github.com/garnet-middleware/garnet/internal/dispatch"
+	"github.com/garnet-middleware/garnet/internal/field"
+	"github.com/garnet-middleware/garnet/internal/geo"
+	"github.com/garnet-middleware/garnet/internal/radio"
+	"github.com/garnet-middleware/garnet/internal/receiver"
+	"github.com/garnet-middleware/garnet/internal/resource"
+	"github.com/garnet-middleware/garnet/internal/sensor"
+	"github.com/garnet-middleware/garnet/internal/sim"
+	"github.com/garnet-middleware/garnet/internal/transmit"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+var epoch = time.Date(2003, 5, 19, 0, 0, 0, 0, time.UTC)
+
+// buildRig assembles a small but complete Figure 1 deployment on a virtual
+// clock: 4 receivers with overlapping zones, 2 transmitters, and the given
+// radio parameters.
+func buildRig(t *testing.T, params radio.Params) (*Deployment, *sim.VirtualClock) {
+	t.Helper()
+	clock := sim.NewVirtualClock(epoch)
+	d := New(Config{
+		Clock:  clock,
+		Radio:  params,
+		Secret: []byte("test-secret"),
+	})
+	for _, p := range field.GridPositions(geo.RectWH(0, 0, 200, 200), 4) {
+		d.AddReceiver(receiver.Config{Position: p, Radius: 180})
+	}
+	d.AddTransmitter(transmit.Config{Name: "tx-west", Position: geo.Pt(50, 100), Range: 300})
+	d.AddTransmitter(transmit.Config{Name: "tx-east", Position: geo.Pt(150, 100), Range: 300})
+	return d, clock
+}
+
+func addSensor(t *testing.T, d *Deployment, id wire.SensorID, caps sensor.Capability, period time.Duration) *sensor.Node {
+	t.Helper()
+	n, err := d.AddSensor(sensor.Config{
+		ID:           id,
+		Capabilities: caps,
+		Mobility:     field.Static{P: geo.Pt(100, 100)},
+		TxRange:      300,
+		Streams: []sensor.StreamConfig{{
+			Index:   0,
+			Sampler: sensor.FloatSampler(func(time.Time) float64 { return 20 }),
+			Period:  period,
+			Enabled: true,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestFigure1EndToEndDataPath drives the complete uplink: sensor →
+// overlapping receivers (duplication) → filter (dedup) → dispatcher →
+// subscribed consumer, with the unclaimed remainder in the orphanage.
+func TestFigure1EndToEndDataPath(t *testing.T) {
+	d, clock := buildRig(t, radio.Params{LossProb: 0.1, DelayMin: time.Millisecond, DelayMax: 5 * time.Millisecond, Seed: 42})
+	defer d.Stop()
+
+	addSensor(t, d, 1, 0, time.Second)
+	addSensor(t, d, 2, 0, time.Second) // nobody subscribes: orphaned
+
+	rec := consumer.NewRecorder("app", 4096)
+	if _, err := d.Dispatcher().Subscribe(rec, dispatch.Exact(wire.MustStreamID(1, 0))); err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	clock.Advance(30 * time.Second)
+
+	// With 4 overlapping receivers and 10% loss, virtually every message
+	// arrives at least once: expect ≥ 28 of 30 unique deliveries.
+	if got := rec.Count(); got < 28 || got > 30 {
+		t.Fatalf("consumer received %d unique messages, want ≈30", got)
+	}
+	fs := d.Filter().Stats()
+	if fs.Duplicates == 0 {
+		t.Fatal("overlapping receivers produced no duplicates — rig is wrong")
+	}
+	if fs.Delivered+fs.Duplicates+fs.Stale != fs.Received {
+		t.Fatalf("filter accounting broken: %+v", fs)
+	}
+	// Sensor 2's stream must be held by the orphanage.
+	os := d.Orphanage().Stats()
+	if os.StreamsHeld != 1 {
+		t.Fatalf("orphanage holds %d streams, want 1", os.StreamsHeld)
+	}
+	infos := d.Orphanage().Streams()
+	if infos[0].Stream != wire.MustStreamID(2, 0) {
+		t.Fatalf("orphaned stream = %v", infos[0].Stream)
+	}
+}
+
+// TestFigure1ActuationRoundTrip drives the complete control path: demand →
+// Resource Manager → Actuation Service → Replicator → Transmitter →
+// sensor applies and acks → ack detected on the data path.
+func TestFigure1ActuationRoundTrip(t *testing.T) {
+	d, clock := buildRig(t, radio.Params{})
+	defer d.Stop()
+	n := addSensor(t, d, 5, sensor.CapReceive, time.Second)
+	d.Start()
+	clock.Advance(2 * time.Second) // let some data flow (location track forms)
+
+	target := wire.MustStreamID(5, 0)
+	dec, err := d.SubmitDemand(resource.Demand{
+		Consumer: "app", Target: target, Op: wire.OpSetRate, Value: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Verdict != resource.VerdictApproved || !dec.Changed {
+		t.Fatalf("decision = %+v", dec)
+	}
+	clock.Advance(5 * time.Second)
+
+	if p, _ := n.StreamPeriod(0); p != 250*time.Millisecond {
+		t.Fatalf("sensor period = %v, want 250ms", p)
+	}
+	as := d.ActuationService().Stats()
+	if as.Acked != 1 || as.Outstanding != 0 {
+		t.Fatalf("actuation stats = %+v", as)
+	}
+	if d.ActuationService().Latency().Count() != 1 {
+		t.Fatal("ack latency not recorded")
+	}
+	// The replicator targeted rather than flooded: sensor 5 was locatable.
+	rs := d.Replicator().Stats()
+	if rs.Requests == 0 {
+		t.Fatal("replicator never used")
+	}
+}
+
+func TestMediationAcrossMutuallyUnawareConsumers(t *testing.T) {
+	d, clock := buildRig(t, radio.Params{})
+	defer d.Stop()
+	n := addSensor(t, d, 5, sensor.CapReceive, time.Second)
+	d.Start()
+	clock.Advance(time.Second)
+
+	target := wire.MustStreamID(5, 0)
+	if _, err := d.SubmitDemand(resource.Demand{Consumer: "a", Target: target, Op: wire.OpSetRate, Value: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SubmitDemand(resource.Demand{Consumer: "b", Target: target, Op: wire.OpSetRate, Value: 500}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(5 * time.Second)
+	// Most-demanding policy: 2 Hz wins; b's lower demand modified.
+	if p, _ := n.StreamPeriod(0); p != 500*time.Millisecond {
+		t.Fatalf("period = %v, want 500ms", p)
+	}
+	// b withdraws: no change (a still demands 2 Hz). a withdraws: rate
+	// relaxes to b's... b already withdrew, so entry empties: no actuation.
+	d.WithdrawDemand("b", target, resource.ClassRate)
+	clock.Advance(3 * time.Second)
+	if p, _ := n.StreamPeriod(0); p != 500*time.Millisecond {
+		t.Fatalf("period after b withdraw = %v, want unchanged", p)
+	}
+}
+
+func TestCoordinatorDrivenActuation(t *testing.T) {
+	d, clock := buildRig(t, radio.Params{})
+	defer d.Stop()
+	n := addSensor(t, d, 7, sensor.CapReceive, time.Second)
+	d.Start()
+	clock.Advance(time.Second)
+
+	target := wire.MustStreamID(7, 0)
+	model := map[string][]resource.Demand{
+		"calm":  {{Target: target, Op: wire.OpSetRate, Value: 500}},
+		"flood": {{Target: target, Op: wire.OpSetRate, Value: 5000}},
+	}
+	if err := d.Coordinator().Register("water-app", model); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Coordinator().ReportState("water-app", "flood"); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(5 * time.Second)
+	if p, _ := n.StreamPeriod(0); p != 200*time.Millisecond {
+		t.Fatalf("flood-state period = %v, want 200ms", p)
+	}
+	if err := d.Coordinator().ReportState("water-app", "calm"); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(5 * time.Second)
+	if p, _ := n.StreamPeriod(0); p != 2*time.Second {
+		t.Fatalf("calm-state period = %v, want 2s", p)
+	}
+}
+
+func TestLocationPipelineAndPublishing(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	d := New(Config{
+		Clock:                 clock,
+		Secret:                []byte("s"),
+		LocationPublishPeriod: 5 * time.Second,
+	})
+	defer d.Stop()
+	for _, p := range field.GridPositions(geo.RectWH(0, 0, 200, 200), 4) {
+		d.AddReceiver(receiver.Config{Position: p, Radius: 180})
+	}
+	addSensor(t, d, 3, 0, time.Second)
+
+	locRec := consumer.NewRecorder("loc-watcher", 64)
+	if _, err := d.Dispatcher().Subscribe(locRec, dispatch.Exact(wire.MustStreamID(3, wire.LocationStreamIndex))); err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	clock.Advance(11 * time.Second)
+
+	est, err := d.Location().Locate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True position (100,100); 4 receivers triangulate exactly.
+	if est.Pos.Dist(geo.Pt(100, 100)) > 30 {
+		t.Fatalf("inferred %v, truth (100,100)", est.Pos)
+	}
+	if locRec.Count() < 2 {
+		t.Fatalf("location stream deliveries = %d, want ≥2", locRec.Count())
+	}
+}
+
+func TestDerivedStreamThroughDispatcher(t *testing.T) {
+	d, clock := buildRig(t, radio.Params{})
+	defer d.Stop()
+	d.Start()
+
+	vid := d.AllocateVirtualSensor()
+	if !consumer.IsVirtual(vid) {
+		t.Fatalf("allocated id %d not virtual", vid)
+	}
+	ds := consumer.NewDerivedStream(d, wire.MustStreamID(vid, 0), 0)
+
+	rec := consumer.NewRecorder("l2", 16)
+	if _, err := d.Dispatcher().Subscribe(rec, dispatch.Exact(ds.Stream())); err != nil {
+		t.Fatal(err)
+	}
+	ds.Emit([]byte("derived!"), clock.Now())
+	if rec.Count() != 1 {
+		t.Fatalf("derived deliveries = %d", rec.Count())
+	}
+	// Distinct allocations never collide.
+	if d.AllocateVirtualSensor() == vid {
+		t.Fatal("virtual sensor id reused")
+	}
+}
+
+func TestActuationRetriesUnderLossyDownlink(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	d := New(Config{
+		Clock:     clock,
+		Radio:     radio.Params{LossProb: 0.6, Seed: 9},
+		Secret:    []byte("s"),
+		Actuation: actuation.Options{RetryInterval: time.Second, MaxAttempts: 10},
+	})
+	defer d.Stop()
+	for _, p := range field.GridPositions(geo.RectWH(0, 0, 200, 200), 4) {
+		d.AddReceiver(receiver.Config{Position: p, Radius: 250})
+	}
+	d.AddTransmitter(transmit.Config{Position: geo.Pt(100, 100), Range: 300})
+	n := addSensor(t, d, 4, sensor.CapReceive, time.Second)
+	d.Start()
+	clock.Advance(time.Second)
+
+	if _, err := d.SubmitDemand(resource.Demand{Consumer: "app", Target: wire.MustStreamID(4, 0), Op: wire.OpSetRate, Value: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(30 * time.Second)
+	if p, _ := n.StreamPeriod(0); p != 500*time.Millisecond {
+		t.Fatalf("period = %v despite retries", p)
+	}
+	if d.ActuationService().Stats().Acked != 1 {
+		t.Fatalf("actuation not acked: %+v", d.ActuationService().Stats())
+	}
+}
+
+func TestStopIsCleanAndIdempotent(t *testing.T) {
+	d, clock := buildRig(t, radio.Params{})
+	addSensor(t, d, 1, 0, time.Second)
+	d.Start()
+	d.Start() // idempotent
+	clock.Advance(3 * time.Second)
+	d.Stop()
+	d.Stop() // idempotent
+
+	before := d.Filter().Stats().Received
+	clock.Advance(10 * time.Second)
+	if got := d.Filter().Stats().Received; got != before {
+		t.Fatalf("traffic after Stop: %d → %d", before, got)
+	}
+}
+
+func TestStatsSnapshotAndString(t *testing.T) {
+	d, clock := buildRig(t, radio.Params{})
+	defer d.Stop()
+	addSensor(t, d, 1, 0, time.Second)
+	d.Start()
+	clock.Advance(5 * time.Second)
+	s := d.Stats()
+	if s.Sensors != 1 || s.Receivers != 4 || s.Txs != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Filter.Received == 0 || s.Dispatch.Dispatched == 0 {
+		t.Fatalf("no traffic in snapshot: %+v", s)
+	}
+	if d.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestInjectReception(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	d := New(Config{Clock: clock, Secret: []byte("s")})
+	defer d.Stop()
+	rec := consumer.NewRecorder("app", 16)
+	if _, err := d.Dispatcher().Subscribe(rec, dispatch.All()); err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	d.InjectReception(receiver.Reception{
+		Msg: wire.Message{Stream: wire.MustStreamID(1, 0), Seq: 0},
+		At:  clock.Now(), Receiver: "synthetic", RSSI: 1,
+	})
+	if rec.Count() != 1 {
+		t.Fatal("injected reception not delivered")
+	}
+}
+
+func TestNewRequiresSecret(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic without secret")
+		}
+	}()
+	New(Config{Clock: sim.NewVirtualClock(epoch)})
+}

@@ -1,0 +1,461 @@
+// Package dispatch implements the Dispatching Service of §4.2: delivery of
+// reconstructed data streams to subscribed consumer processes through a
+// publish/subscribe mechanism that keeps consumers mutually unaware of one
+// another, and detection of un-configured streams, which are routed to the
+// Orphanage.
+//
+// The StreamID in a data message “implicitly identifies the source of the
+// message, while the end destinations are inferred” (§5, delayed delivery
+// decision-making): sensors never address consumers; the dispatcher's
+// subscription table is the sole place delivery decisions are made.
+//
+// Two delivery modes exist. Synchronous mode invokes consumers inline and
+// is used by the deterministic simulation and the benchmarks; asynchronous
+// mode gives every consumer a bounded queue drained by a dedicated,
+// lifecycle-managed goroutine, with an explicit overflow policy
+// (drop-oldest by default) so one slow consumer can never stall the
+// pipeline or another consumer.
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/filtering"
+	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// Consumer is a destination for stream deliveries. Implementations must be
+// comparable (use pointer receivers) because the dispatcher de-duplicates
+// deliveries per consumer, and must not block in Consume when the
+// dispatcher runs in synchronous mode.
+type Consumer interface {
+	// Name identifies the consumer in diagnostics.
+	Name() string
+	// Consume handles one delivery.
+	Consume(d filtering.Delivery)
+}
+
+// ConsumerFunc adapts a function to the Consumer interface.
+type ConsumerFunc struct {
+	ConsumerName string
+	Fn           func(filtering.Delivery)
+}
+
+// Name implements Consumer.
+func (c *ConsumerFunc) Name() string { return c.ConsumerName }
+
+// Consume implements Consumer.
+func (c *ConsumerFunc) Consume(d filtering.Delivery) { c.Fn(d) }
+
+// PatternKind selects the subscription matching rule.
+type PatternKind int
+
+const (
+	// KindExact matches one StreamID.
+	KindExact PatternKind = iota + 1
+	// KindSensor matches every stream of one sensor.
+	KindSensor
+	// KindAll matches every stream.
+	KindAll
+	// KindWhere matches streams by predicate.
+	KindWhere
+)
+
+// Pattern describes which streams a subscription selects.
+type Pattern struct {
+	Kind   PatternKind
+	Stream wire.StreamID             // KindExact
+	Sensor wire.SensorID             // KindSensor
+	Where  func(m wire.Message) bool // KindWhere
+}
+
+// Exact subscribes to a single stream.
+func Exact(id wire.StreamID) Pattern { return Pattern{Kind: KindExact, Stream: id} }
+
+// BySensor subscribes to every stream of a sensor.
+func BySensor(id wire.SensorID) Pattern { return Pattern{Kind: KindSensor, Sensor: id} }
+
+// All subscribes to every stream.
+func All() Pattern { return Pattern{Kind: KindAll} }
+
+// Where subscribes by predicate over the message (stream id, flags, seq —
+// the payload is opaque but its length is visible).
+func Where(fn func(m wire.Message) bool) Pattern { return Pattern{Kind: KindWhere, Where: fn} }
+
+// Mode selects the delivery mechanism.
+type Mode int
+
+const (
+	// ModeSync delivers inline on the dispatching goroutine.
+	ModeSync Mode = iota + 1
+	// ModeAsync delivers through per-consumer bounded queues.
+	ModeAsync
+)
+
+// OverflowPolicy says what happens when an async consumer queue is full.
+type OverflowPolicy int
+
+const (
+	// DropOldest discards the queue head to admit the new delivery.
+	DropOldest OverflowPolicy = iota + 1
+	// DropNewest discards the incoming delivery.
+	DropNewest
+)
+
+// DefaultQueueCapacity bounds each async consumer queue. The buffer is a
+// deliberate, documented decision: it absorbs fan-out bursts while the
+// overflow policy guarantees a slow consumer only ever harms itself.
+const DefaultQueueCapacity = 256
+
+// Options configures a Dispatcher. The zero value means synchronous mode.
+type Options struct {
+	Mode          Mode
+	QueueCapacity int            // per-consumer, ModeAsync only
+	Overflow      OverflowPolicy // ModeAsync only; default DropOldest
+}
+
+// StreamInfo is one advertised stream, for discovery.
+type StreamInfo struct {
+	Stream     wire.StreamID
+	FirstSeen  time.Time
+	LastSeen   time.Time
+	Count      int64
+	Subscribed bool // whether at least one subscription currently matches it
+}
+
+// Stats is a snapshot of dispatcher counters.
+type Stats struct {
+	Dispatched    int64 // deliveries entering the dispatcher
+	Delivered     int64 // per-consumer deliveries out
+	Orphaned      int64 // deliveries with no matching subscription
+	Dropped       int64 // async overflow discards
+	Subscriptions int
+	Consumers     int
+}
+
+// SubscriptionID identifies a subscription for Unsubscribe.
+type SubscriptionID uint64
+
+type subscription struct {
+	id      SubscriptionID
+	pattern Pattern
+	port    *port
+}
+
+// Dispatcher is the Dispatching Service.
+type Dispatcher struct {
+	opts Options
+
+	mu      sync.Mutex
+	nextSub SubscriptionID
+	subs    map[SubscriptionID]*subscription
+	exact   map[wire.StreamID]map[SubscriptionID]*subscription
+	sensor  map[wire.SensorID]map[SubscriptionID]*subscription
+	global  map[SubscriptionID]*subscription // KindAll and KindWhere
+	ports   map[Consumer]*port
+	streams map[wire.StreamID]*StreamInfo
+	orphan  func(filtering.Delivery)
+	started bool
+	stopped bool
+	wg      sync.WaitGroup
+
+	dispatched metrics.Counter
+	delivered  metrics.Counter
+	orphaned   metrics.Counter
+	dropped    metrics.Counter
+}
+
+// Errors returned by Subscribe.
+var (
+	ErrStopped    = errors.New("dispatch: dispatcher stopped")
+	ErrBadPattern = errors.New("dispatch: invalid pattern")
+)
+
+// New creates a Dispatcher. Synchronous dispatchers are ready immediately;
+// asynchronous ones need Start.
+func New(opts Options) *Dispatcher {
+	if opts.Mode == 0 {
+		opts.Mode = ModeSync
+	}
+	if opts.QueueCapacity <= 0 {
+		opts.QueueCapacity = DefaultQueueCapacity
+	}
+	if opts.Overflow == 0 {
+		opts.Overflow = DropOldest
+	}
+	return &Dispatcher{
+		opts:    opts,
+		subs:    make(map[SubscriptionID]*subscription),
+		exact:   make(map[wire.StreamID]map[SubscriptionID]*subscription),
+		sensor:  make(map[wire.SensorID]map[SubscriptionID]*subscription),
+		global:  make(map[SubscriptionID]*subscription),
+		ports:   make(map[Consumer]*port),
+		streams: make(map[wire.StreamID]*StreamInfo),
+	}
+}
+
+// SetOrphanSink routes un-configured data (no matching subscription) to fn
+// — in a full deployment, the Orphanage. A nil fn discards orphans.
+func (d *Dispatcher) SetOrphanSink(fn func(filtering.Delivery)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.orphan = fn
+}
+
+// Start launches async consumer workers. It is a no-op in ModeSync and
+// idempotent otherwise.
+func (d *Dispatcher) Start() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.started || d.opts.Mode != ModeAsync {
+		d.started = true
+		return
+	}
+	d.started = true
+	for _, p := range d.ports {
+		d.startPortLocked(p)
+	}
+}
+
+func (d *Dispatcher) startPortLocked(p *port) {
+	if p.running {
+		return
+	}
+	p.running = true
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		p.run()
+	}()
+}
+
+// Stop halts delivery. In async mode it closes all consumer queues and
+// waits for the workers to drain. Deliveries arriving after Stop are
+// counted as dropped.
+func (d *Dispatcher) Stop() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	ports := make([]*port, 0, len(d.ports))
+	for _, p := range d.ports {
+		ports = append(ports, p)
+	}
+	d.mu.Unlock()
+	for _, p := range ports {
+		p.close()
+	}
+	d.wg.Wait()
+}
+
+// Subscribe registers consumer c for streams matching pattern. The same
+// consumer may hold several subscriptions; a message matching more than
+// one is still delivered to c once.
+func (d *Dispatcher) Subscribe(c Consumer, pattern Pattern) (SubscriptionID, error) {
+	if c == nil {
+		return 0, fmt.Errorf("%w: nil consumer", ErrBadPattern)
+	}
+	switch pattern.Kind {
+	case KindExact, KindSensor, KindAll:
+	case KindWhere:
+		if pattern.Where == nil {
+			return 0, fmt.Errorf("%w: KindWhere needs a predicate", ErrBadPattern)
+		}
+	default:
+		return 0, fmt.Errorf("%w: kind %d", ErrBadPattern, pattern.Kind)
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopped {
+		return 0, ErrStopped
+	}
+	p, ok := d.ports[c]
+	if !ok {
+		p = newPort(c, d.opts.QueueCapacity, d.opts.Overflow, &d.dropped)
+		d.ports[c] = p
+		if d.opts.Mode == ModeAsync && d.started {
+			d.startPortLocked(p)
+		}
+	}
+	p.refs++
+
+	d.nextSub++
+	sub := &subscription{id: d.nextSub, pattern: pattern, port: p}
+	d.subs[sub.id] = sub
+	switch pattern.Kind {
+	case KindExact:
+		m := d.exact[pattern.Stream]
+		if m == nil {
+			m = make(map[SubscriptionID]*subscription)
+			d.exact[pattern.Stream] = m
+		}
+		m[sub.id] = sub
+	case KindSensor:
+		m := d.sensor[pattern.Sensor]
+		if m == nil {
+			m = make(map[SubscriptionID]*subscription)
+			d.sensor[pattern.Sensor] = m
+		}
+		m[sub.id] = sub
+	default:
+		d.global[sub.id] = sub
+	}
+	return sub.id, nil
+}
+
+// Unsubscribe removes a subscription; it reports whether the id was live.
+// When a consumer's last subscription goes away its queue is closed.
+func (d *Dispatcher) Unsubscribe(id SubscriptionID) bool {
+	d.mu.Lock()
+	sub, ok := d.subs[id]
+	if !ok {
+		d.mu.Unlock()
+		return false
+	}
+	delete(d.subs, id)
+	switch sub.pattern.Kind {
+	case KindExact:
+		delete(d.exact[sub.pattern.Stream], id)
+		if len(d.exact[sub.pattern.Stream]) == 0 {
+			delete(d.exact, sub.pattern.Stream)
+		}
+	case KindSensor:
+		delete(d.sensor[sub.pattern.Sensor], id)
+		if len(d.sensor[sub.pattern.Sensor]) == 0 {
+			delete(d.sensor, sub.pattern.Sensor)
+		}
+	default:
+		delete(d.global, id)
+	}
+	sub.port.refs--
+	var toClose *port
+	if sub.port.refs == 0 {
+		delete(d.ports, sub.port.consumer)
+		toClose = sub.port
+	}
+	d.mu.Unlock()
+	if toClose != nil {
+		toClose.close()
+	}
+	return true
+}
+
+// Dispatch delivers one reconstructed message to every matching consumer,
+// or to the orphan sink when nothing matches.
+func (d *Dispatcher) Dispatch(del filtering.Delivery) {
+	d.dispatched.Inc()
+
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		d.dropped.Inc()
+		return
+	}
+	// Advertising: record the stream for discovery.
+	info, ok := d.streams[del.Msg.Stream]
+	if !ok {
+		info = &StreamInfo{Stream: del.Msg.Stream, FirstSeen: del.At}
+		d.streams[del.Msg.Stream] = info
+	}
+	info.LastSeen = del.At
+	info.Count++
+
+	// Collect matching ports, de-duplicated per consumer.
+	seen := make(map[*port]bool)
+	var targets []*port
+	add := func(sub *subscription) {
+		if !seen[sub.port] {
+			seen[sub.port] = true
+			targets = append(targets, sub.port)
+		}
+	}
+	for _, sub := range d.exact[del.Msg.Stream] {
+		add(sub)
+	}
+	for _, sub := range d.sensor[del.Msg.Stream.Sensor()] {
+		add(sub)
+	}
+	for _, sub := range d.global {
+		if sub.pattern.Kind == KindAll || sub.pattern.Where(del.Msg) {
+			add(sub)
+		}
+	}
+	// Deterministic fan-out order for the synchronous mode.
+	sort.Slice(targets, func(i, j int) bool { return targets[i].seq < targets[j].seq })
+	orphan := d.orphan
+	mode := d.opts.Mode
+	d.mu.Unlock()
+
+	if len(targets) == 0 {
+		d.orphaned.Inc()
+		if orphan != nil {
+			orphan(del)
+		}
+		return
+	}
+	for _, p := range targets {
+		if mode == ModeSync {
+			d.delivered.Inc()
+			p.consumer.Consume(del)
+			continue
+		}
+		if p.enqueue(del) {
+			d.delivered.Inc()
+		}
+	}
+}
+
+// Discover lists every stream the dispatcher has seen, sorted by id — the
+// advertising/discovery mechanism consumers use to find streams of
+// interest, including un-configured ones currently flowing to the
+// Orphanage.
+func (d *Dispatcher) Discover() []StreamInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]StreamInfo, 0, len(d.streams))
+	for id, info := range d.streams {
+		cp := *info
+		cp.Subscribed = d.matchedLocked(id)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stream < out[j].Stream })
+	return out
+}
+
+func (d *Dispatcher) matchedLocked(id wire.StreamID) bool {
+	if len(d.exact[id]) > 0 || len(d.sensor[id.Sensor()]) > 0 {
+		return true
+	}
+	for _, sub := range d.global {
+		if sub.pattern.Kind == KindAll {
+			return true
+		}
+		if sub.pattern.Where(wire.Message{Stream: id}) {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns a snapshot of dispatcher counters.
+func (d *Dispatcher) Stats() Stats {
+	d.mu.Lock()
+	subs, consumers := len(d.subs), len(d.ports)
+	d.mu.Unlock()
+	return Stats{
+		Dispatched:    d.dispatched.Value(),
+		Delivered:     d.delivered.Value(),
+		Orphaned:      d.orphaned.Value(),
+		Dropped:       d.dropped.Value(),
+		Subscriptions: subs,
+		Consumers:     consumers,
+	}
+}

@@ -1,0 +1,385 @@
+package dispatch
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/filtering"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+var epoch = time.Date(2003, 5, 19, 0, 0, 0, 0, time.UTC)
+
+type recorder struct {
+	name string
+	mu   sync.Mutex
+	got  []filtering.Delivery
+}
+
+func (r *recorder) Name() string { return r.name }
+func (r *recorder) Consume(d filtering.Delivery) {
+	r.mu.Lock()
+	r.got = append(r.got, d)
+	r.mu.Unlock()
+}
+func (r *recorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.got)
+}
+
+func del(stream wire.StreamID, seq wire.Seq) filtering.Delivery {
+	return filtering.Delivery{
+		Msg: wire.Message{Stream: stream, Seq: seq},
+		At:  epoch,
+	}
+}
+
+func TestExactSubscription(t *testing.T) {
+	d := New(Options{})
+	c := &recorder{name: "c"}
+	if _, err := d.Subscribe(c, Exact(wire.MustStreamID(1, 0))); err != nil {
+		t.Fatal(err)
+	}
+	d.Dispatch(del(wire.MustStreamID(1, 0), 0))
+	d.Dispatch(del(wire.MustStreamID(1, 1), 0)) // other stream, same sensor
+	d.Dispatch(del(wire.MustStreamID(2, 0), 0)) // other sensor
+	if c.count() != 1 {
+		t.Fatalf("delivered %d, want 1", c.count())
+	}
+}
+
+func TestBySensorSubscription(t *testing.T) {
+	d := New(Options{})
+	c := &recorder{name: "c"}
+	if _, err := d.Subscribe(c, BySensor(1)); err != nil {
+		t.Fatal(err)
+	}
+	d.Dispatch(del(wire.MustStreamID(1, 0), 0))
+	d.Dispatch(del(wire.MustStreamID(1, 7), 0))
+	d.Dispatch(del(wire.MustStreamID(2, 0), 0))
+	if c.count() != 2 {
+		t.Fatalf("delivered %d, want 2", c.count())
+	}
+}
+
+func TestAllSubscription(t *testing.T) {
+	d := New(Options{})
+	c := &recorder{name: "c"}
+	if _, err := d.Subscribe(c, All()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		d.Dispatch(del(wire.MustStreamID(wire.SensorID(i), 0), 0))
+	}
+	if c.count() != 5 {
+		t.Fatalf("delivered %d, want 5", c.count())
+	}
+}
+
+func TestWhereSubscription(t *testing.T) {
+	d := New(Options{})
+	c := &recorder{name: "c"}
+	// Subscribe to location streams only.
+	_, err := d.Subscribe(c, Where(func(m wire.Message) bool {
+		return m.Stream.Index() == wire.LocationStreamIndex
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Dispatch(del(wire.MustStreamID(1, 0), 0))
+	d.Dispatch(del(wire.MustStreamID(1, wire.LocationStreamIndex), 0))
+	if c.count() != 1 {
+		t.Fatalf("delivered %d, want 1", c.count())
+	}
+}
+
+func TestMutuallyUnawareConsumersBothReceive(t *testing.T) {
+	d := New(Options{})
+	a, b := &recorder{name: "a"}, &recorder{name: "b"}
+	id := wire.MustStreamID(1, 0)
+	if _, err := d.Subscribe(a, Exact(id)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe(b, Exact(id)); err != nil {
+		t.Fatal(err)
+	}
+	d.Dispatch(del(id, 0))
+	if a.count() != 1 || b.count() != 1 {
+		t.Fatalf("a=%d b=%d, want 1 and 1", a.count(), b.count())
+	}
+}
+
+func TestOverlappingSubscriptionsDeliverOnce(t *testing.T) {
+	d := New(Options{})
+	c := &recorder{name: "c"}
+	id := wire.MustStreamID(1, 0)
+	if _, err := d.Subscribe(c, Exact(id)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe(c, BySensor(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe(c, All()); err != nil {
+		t.Fatal(err)
+	}
+	d.Dispatch(del(id, 0))
+	if c.count() != 1 {
+		t.Fatalf("delivered %d, want 1 (per-consumer dedup)", c.count())
+	}
+}
+
+func TestOrphanRouting(t *testing.T) {
+	d := New(Options{})
+	var orphans []filtering.Delivery
+	d.SetOrphanSink(func(dd filtering.Delivery) { orphans = append(orphans, dd) })
+	c := &recorder{name: "c"}
+	if _, err := d.Subscribe(c, Exact(wire.MustStreamID(1, 0))); err != nil {
+		t.Fatal(err)
+	}
+	d.Dispatch(del(wire.MustStreamID(9, 9), 0)) // nobody subscribed
+	d.Dispatch(del(wire.MustStreamID(1, 0), 0))
+	if len(orphans) != 1 || orphans[0].Msg.Stream != wire.MustStreamID(9, 9) {
+		t.Fatalf("orphans = %v", orphans)
+	}
+	if st := d.Stats(); st.Orphaned != 1 {
+		t.Fatalf("Orphaned = %d", st.Orphaned)
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	d := New(Options{})
+	c := &recorder{name: "c"}
+	id, err := d.Subscribe(c, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Dispatch(del(wire.MustStreamID(1, 0), 0))
+	if !d.Unsubscribe(id) {
+		t.Fatal("Unsubscribe returned false")
+	}
+	if d.Unsubscribe(id) {
+		t.Fatal("second Unsubscribe returned true")
+	}
+	d.Dispatch(del(wire.MustStreamID(1, 0), 1))
+	if c.count() != 1 {
+		t.Fatalf("delivered %d after unsubscribe, want 1", c.count())
+	}
+	if st := d.Stats(); st.Subscriptions != 0 || st.Consumers != 0 {
+		t.Fatalf("stats after unsubscribe: %+v", st)
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	d := New(Options{})
+	if _, err := d.Subscribe(nil, All()); !errors.Is(err, ErrBadPattern) {
+		t.Errorf("nil consumer err = %v", err)
+	}
+	c := &recorder{name: "c"}
+	if _, err := d.Subscribe(c, Pattern{Kind: KindWhere}); !errors.Is(err, ErrBadPattern) {
+		t.Errorf("nil predicate err = %v", err)
+	}
+	if _, err := d.Subscribe(c, Pattern{Kind: 99}); !errors.Is(err, ErrBadPattern) {
+		t.Errorf("bad kind err = %v", err)
+	}
+}
+
+func TestDiscover(t *testing.T) {
+	d := New(Options{})
+	c := &recorder{name: "c"}
+	if _, err := d.Subscribe(c, Exact(wire.MustStreamID(1, 0))); err != nil {
+		t.Fatal(err)
+	}
+	d.Dispatch(del(wire.MustStreamID(1, 0), 0))
+	d.Dispatch(del(wire.MustStreamID(1, 0), 1))
+	d.Dispatch(del(wire.MustStreamID(5, 2), 0)) // unclaimed
+
+	infos := d.Discover()
+	if len(infos) != 2 {
+		t.Fatalf("discovered %d streams, want 2", len(infos))
+	}
+	if infos[0].Stream != wire.MustStreamID(1, 0) || infos[0].Count != 2 || !infos[0].Subscribed {
+		t.Errorf("first stream info: %+v", infos[0])
+	}
+	if infos[1].Stream != wire.MustStreamID(5, 2) || infos[1].Subscribed {
+		t.Errorf("second stream info: %+v", infos[1])
+	}
+}
+
+func TestAsyncDelivery(t *testing.T) {
+	d := New(Options{Mode: ModeAsync})
+	c := &recorder{name: "c"}
+	if _, err := d.Subscribe(c, All()); err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	for i := 0; i < 100; i++ {
+		d.Dispatch(del(wire.MustStreamID(1, 0), wire.Seq(i)))
+	}
+	d.Stop() // drains queues
+	if c.count() != 100 {
+		t.Fatalf("delivered %d, want 100", c.count())
+	}
+}
+
+func TestAsyncSubscribeAfterStart(t *testing.T) {
+	d := New(Options{Mode: ModeAsync})
+	d.Start()
+	c := &recorder{name: "late"}
+	if _, err := d.Subscribe(c, All()); err != nil {
+		t.Fatal(err)
+	}
+	d.Dispatch(del(wire.MustStreamID(1, 0), 0))
+	d.Stop()
+	if c.count() != 1 {
+		t.Fatalf("late subscriber got %d, want 1", c.count())
+	}
+}
+
+func TestAsyncOverflowDropOldest(t *testing.T) {
+	d := New(Options{Mode: ModeAsync, QueueCapacity: 4, Overflow: DropOldest})
+	block := make(chan struct{})
+	var mu sync.Mutex
+	var got []wire.Seq
+	slow := &ConsumerFunc{ConsumerName: "slow", Fn: func(dd filtering.Delivery) {
+		<-block
+		mu.Lock()
+		got = append(got, dd.Msg.Seq)
+		mu.Unlock()
+	}}
+	if _, err := d.Subscribe(slow, All()); err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	// Fill beyond capacity while the worker is blocked. The worker takes
+	// one delivery immediately, the queue holds 4, so dispatch 8: at least
+	// 3 must be dropped (oldest first).
+	for i := 0; i < 8; i++ {
+		d.Dispatch(del(wire.MustStreamID(1, 0), wire.Seq(i)))
+	}
+	close(block)
+	d.Stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) >= 8 {
+		t.Fatalf("nothing dropped: got %d", len(got))
+	}
+	// The newest delivery must survive under DropOldest.
+	last := got[len(got)-1]
+	if last != 7 {
+		t.Fatalf("newest delivery lost: last = %d, want 7", last)
+	}
+	if st := d.Stats(); st.Dropped == 0 {
+		t.Fatal("Dropped not counted")
+	}
+}
+
+func TestAsyncOverflowDropNewest(t *testing.T) {
+	d := New(Options{Mode: ModeAsync, QueueCapacity: 2, Overflow: DropNewest})
+	block := make(chan struct{})
+	var mu sync.Mutex
+	var got []wire.Seq
+	slow := &ConsumerFunc{ConsumerName: "slow", Fn: func(dd filtering.Delivery) {
+		<-block
+		mu.Lock()
+		got = append(got, dd.Msg.Seq)
+		mu.Unlock()
+	}}
+	if _, err := d.Subscribe(slow, All()); err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	for i := 0; i < 6; i++ {
+		d.Dispatch(del(wire.MustStreamID(1, 0), wire.Seq(i)))
+	}
+	close(block)
+	d.Stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) == 0 || got[0] != 0 {
+		t.Fatalf("oldest delivery must survive DropNewest; got %v", got)
+	}
+}
+
+func TestSlowConsumerDoesNotStallOthers(t *testing.T) {
+	d := New(Options{Mode: ModeAsync}) // default queue capacity: no overflow for 50 messages
+	release := make(chan struct{})
+	slow := &ConsumerFunc{ConsumerName: "slow", Fn: func(filtering.Delivery) { <-release }}
+	fast := &recorder{name: "fast"}
+	if _, err := d.Subscribe(slow, All()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe(fast, All()); err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	for i := 0; i < 50; i++ {
+		d.Dispatch(del(wire.MustStreamID(1, 0), wire.Seq(i)))
+	}
+	// The fast consumer must see all 50 promptly despite the slow one.
+	deadline := time.Now().Add(5 * time.Second)
+	for fast.count() < 50 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if fast.count() != 50 {
+		t.Fatalf("fast consumer got %d/50 while slow consumer blocked", fast.count())
+	}
+	close(release)
+	d.Stop()
+}
+
+func TestDispatchAfterStopDropped(t *testing.T) {
+	d := New(Options{Mode: ModeAsync})
+	c := &recorder{name: "c"}
+	if _, err := d.Subscribe(c, All()); err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	d.Stop()
+	d.Dispatch(del(wire.MustStreamID(1, 0), 0))
+	if st := d.Stats(); st.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", st.Dropped)
+	}
+	if _, err := d.Subscribe(c, All()); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Subscribe after Stop err = %v", err)
+	}
+}
+
+func TestStatsDeliveredCount(t *testing.T) {
+	d := New(Options{})
+	a, b := &recorder{name: "a"}, &recorder{name: "b"}
+	if _, err := d.Subscribe(a, All()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe(b, All()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		d.Dispatch(del(wire.MustStreamID(1, 0), wire.Seq(i)))
+	}
+	st := d.Stats()
+	if st.Dispatched != 3 || st.Delivered != 6 {
+		t.Fatalf("Dispatched=%d Delivered=%d, want 3/6", st.Dispatched, st.Delivered)
+	}
+}
+
+func TestSyncFanoutDeterministicOrder(t *testing.T) {
+	d := New(Options{})
+	var order []string
+	mk := func(name string) Consumer {
+		return &ConsumerFunc{ConsumerName: name, Fn: func(filtering.Delivery) { order = append(order, name) }}
+	}
+	for _, name := range []string{"first", "second", "third"} {
+		if _, err := d.Subscribe(mk(name), All()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Dispatch(del(wire.MustStreamID(1, 0), 0))
+	if len(order) != 3 || order[0] != "first" || order[1] != "second" || order[2] != "third" {
+		t.Fatalf("fan-out order = %v, want subscription order", order)
+	}
+}

@@ -1,0 +1,97 @@
+package dispatch
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/garnet-middleware/garnet/internal/filtering"
+	"github.com/garnet-middleware/garnet/internal/metrics"
+)
+
+var portSeq atomic.Uint64
+
+// port is one consumer's delivery endpoint: in async mode a bounded FIFO
+// drained by a dedicated worker goroutine; in sync mode just the consumer
+// reference (the queue fields stay unused).
+type port struct {
+	seq      uint64 // creation order, for deterministic sync fan-out
+	consumer Consumer
+	refs     int // live subscriptions; guarded by Dispatcher.mu
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []filtering.Delivery // ring buffer
+	head     int
+	count    int
+	capacity int
+	overflow OverflowPolicy
+	closed   bool
+	running  bool
+
+	dropped *metrics.Counter // shared dispatcher counter
+}
+
+func newPort(c Consumer, capacity int, overflow OverflowPolicy, dropped *metrics.Counter) *port {
+	p := &port{
+		seq:      portSeq.Add(1),
+		consumer: c,
+		queue:    make([]filtering.Delivery, capacity),
+		capacity: capacity,
+		overflow: overflow,
+		dropped:  dropped,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// enqueue adds a delivery, applying the overflow policy when full. It
+// reports whether the new delivery was admitted.
+func (p *port) enqueue(d filtering.Delivery) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		p.dropped.Inc()
+		return false
+	}
+	if p.count == p.capacity {
+		p.dropped.Inc()
+		if p.overflow == DropNewest {
+			return false
+		}
+		// DropOldest: advance head, overwrite.
+		p.head = (p.head + 1) % p.capacity
+		p.count--
+	}
+	p.queue[(p.head+p.count)%p.capacity] = d
+	p.count++
+	p.cond.Signal()
+	return true
+}
+
+// run drains the queue until the port is closed and empty.
+func (p *port) run() {
+	for {
+		p.mu.Lock()
+		for p.count == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.count == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		d := p.queue[p.head]
+		p.queue[p.head] = filtering.Delivery{} // release payload reference
+		p.head = (p.head + 1) % p.capacity
+		p.count--
+		p.mu.Unlock()
+		p.consumer.Consume(d)
+	}
+}
+
+// close marks the port finished; the worker exits after draining.
+func (p *port) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

@@ -1,0 +1,229 @@
+// Package field models the physical deployment area and the mobility of
+// sensors within it. The paper assumes mobile sensors that “occasionally
+// roam outside the reception zone” (§4.2); the mobility models here
+// produce exactly that behaviour deterministically.
+//
+// A Mobility is a position as a function of time. Stateful models
+// (RandomWaypoint) assume time is queried monotonically, which holds for
+// all clock-driven simulation code in this repository.
+package field
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/geo"
+	"github.com/garnet-middleware/garnet/internal/sim"
+)
+
+// Mobility yields a node's position at a given time. Implementations may
+// be stateful and require monotonically non-decreasing query times.
+type Mobility interface {
+	Position(at time.Time) geo.Point
+}
+
+// Static is a Mobility that never moves.
+type Static struct {
+	P geo.Point
+}
+
+// Position implements Mobility.
+func (s Static) Position(time.Time) geo.Point { return s.P }
+
+// Linear drifts from Start with a constant velocity (metres/second),
+// clamped to Bounds when Bounds is non-empty. It models flow-borne
+// sensors such as the water-course scenario of §6.1.
+type Linear struct {
+	Start    geo.Point
+	Velocity geo.Point // metres per second
+	Bounds   geo.Rect  // zero Rect = unbounded
+	Epoch    time.Time // time at which the node is at Start
+}
+
+// Position implements Mobility.
+func (l Linear) Position(at time.Time) geo.Point {
+	dt := at.Sub(l.Epoch).Seconds()
+	p := l.Start.Add(l.Velocity.Scale(dt))
+	if l.Bounds != (geo.Rect{}) {
+		p = l.Bounds.Clamp(p)
+	}
+	return p
+}
+
+// Patrol follows a closed loop of waypoints at constant speed, forever.
+// It models a patrolling target in the reconnaissance scenario.
+type Patrol struct {
+	Waypoints []geo.Point
+	Speed     float64 // metres per second, must be > 0
+	Epoch     time.Time
+
+	// lazily computed
+	legs   []float64
+	total  float64
+	inited bool
+}
+
+func (p *Patrol) init() {
+	if p.inited {
+		return
+	}
+	n := len(p.Waypoints)
+	p.legs = make([]float64, n)
+	for i := 0; i < n; i++ {
+		p.legs[i] = p.Waypoints[i].Dist(p.Waypoints[(i+1)%n])
+		p.total += p.legs[i]
+	}
+	p.inited = true
+}
+
+// Position implements Mobility.
+func (p *Patrol) Position(at time.Time) geo.Point {
+	if len(p.Waypoints) == 0 {
+		return geo.Point{}
+	}
+	if len(p.Waypoints) == 1 || p.Speed <= 0 {
+		return p.Waypoints[0]
+	}
+	p.init()
+	if p.total == 0 {
+		return p.Waypoints[0]
+	}
+	dist := p.Speed * at.Sub(p.Epoch).Seconds()
+	for dist < 0 {
+		dist += p.total
+	}
+	for dist >= p.total {
+		dist -= p.total
+	}
+	for i, leg := range p.legs {
+		if dist <= leg {
+			if leg == 0 {
+				return p.Waypoints[i]
+			}
+			return p.Waypoints[i].Lerp(p.Waypoints[(i+1)%len(p.Waypoints)], dist/leg)
+		}
+		dist -= leg
+	}
+	return p.Waypoints[0]
+}
+
+// RandomWaypoint is the classic mobility model: pick a uniform destination
+// in Bounds, travel to it at a uniform speed in [SpeedMin, SpeedMax],
+// pause, repeat. Deterministic for a given seed; query times must be
+// monotonic.
+type RandomWaypoint struct {
+	bounds             geo.Rect
+	speedMin, speedMax float64
+	pause              time.Duration
+	rng                *rand.Rand
+
+	pos       geo.Point
+	dest      geo.Point
+	speed     float64
+	legStart  time.Time
+	legEnd    time.Time
+	pauseEnd  time.Time
+	travelled bool // false while paused
+	started   bool
+}
+
+// NewRandomWaypoint creates a RandomWaypoint walker starting at a random
+// point of bounds. NewRandomWaypoint panics when speeds are non-positive
+// or speedMax < speedMin (configuration programming errors).
+func NewRandomWaypoint(bounds geo.Rect, speedMin, speedMax float64, pause time.Duration, seed uint64) *RandomWaypoint {
+	if speedMin <= 0 || speedMax < speedMin {
+		panic("field: invalid speed range")
+	}
+	rng := sim.NewRand(sim.SubSeed(seed, "field.rwp"))
+	w := &RandomWaypoint{
+		bounds:   bounds,
+		speedMin: speedMin,
+		speedMax: speedMax,
+		pause:    pause,
+		rng:      rng,
+	}
+	w.pos = w.randomPoint()
+	return w
+}
+
+func (w *RandomWaypoint) randomPoint() geo.Point {
+	return geo.Pt(
+		w.bounds.Min.X+w.rng.Float64()*w.bounds.Dx(),
+		w.bounds.Min.Y+w.rng.Float64()*w.bounds.Dy(),
+	)
+}
+
+func (w *RandomWaypoint) newLeg(at time.Time) {
+	w.dest = w.randomPoint()
+	w.speed = w.speedMin + w.rng.Float64()*(w.speedMax-w.speedMin)
+	w.legStart = at
+	d := w.pos.Dist(w.dest)
+	w.legEnd = at.Add(time.Duration(d / w.speed * float64(time.Second)))
+	w.travelled = true
+}
+
+// Position implements Mobility.
+func (w *RandomWaypoint) Position(at time.Time) geo.Point {
+	if !w.started {
+		w.started = true
+		w.newLeg(at)
+	}
+	for {
+		if w.travelled {
+			if at.Before(w.legEnd) {
+				frac := 0.0
+				if total := w.legEnd.Sub(w.legStart); total > 0 {
+					frac = float64(at.Sub(w.legStart)) / float64(total)
+				}
+				return w.pos.Lerp(w.dest, frac)
+			}
+			// Arrived: pause.
+			w.pos = w.dest
+			w.travelled = false
+			w.pauseEnd = w.legEnd.Add(w.pause)
+			continue
+		}
+		if at.Before(w.pauseEnd) {
+			return w.pos
+		}
+		w.newLeg(w.pauseEnd)
+	}
+}
+
+// GridPositions lays out n points on a near-square grid covering bounds,
+// each at the centre of its cell — the natural arrangement for the
+// receiver and transmitter arrays.
+func GridPositions(bounds geo.Rect, n int) []geo.Point {
+	if n <= 0 {
+		return nil
+	}
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	rows := (n + cols - 1) / cols
+	pts := make([]geo.Point, 0, n)
+	cw, ch := bounds.Dx()/float64(cols), bounds.Dy()/float64(rows)
+	for i := 0; i < n; i++ {
+		c, r := i%cols, i/cols
+		pts = append(pts, geo.Pt(
+			bounds.Min.X+(float64(c)+0.5)*cw,
+			bounds.Min.Y+(float64(r)+0.5)*ch,
+		))
+	}
+	return pts
+}
+
+// RandomPositions scatters n uniform points over bounds using the given
+// seed.
+func RandomPositions(bounds geo.Rect, n int, seed uint64) []geo.Point {
+	rng := sim.NewRand(sim.SubSeed(seed, "field.scatter"))
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Pt(
+			bounds.Min.X+rng.Float64()*bounds.Dx(),
+			bounds.Min.Y+rng.Float64()*bounds.Dy(),
+		)
+	}
+	return pts
+}

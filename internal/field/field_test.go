@@ -1,0 +1,199 @@
+package field
+
+import (
+	"testing"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/geo"
+)
+
+var epoch = time.Date(2003, 5, 19, 0, 0, 0, 0, time.UTC)
+
+func TestStatic(t *testing.T) {
+	m := Static{P: geo.Pt(3, 4)}
+	for _, dt := range []time.Duration{0, time.Second, time.Hour} {
+		if got := m.Position(epoch.Add(dt)); got != geo.Pt(3, 4) {
+			t.Fatalf("Position(+%v) = %v, want (3,4)", dt, got)
+		}
+	}
+}
+
+func TestLinearDrift(t *testing.T) {
+	m := Linear{Start: geo.Pt(0, 0), Velocity: geo.Pt(2, -1), Epoch: epoch}
+	got := m.Position(epoch.Add(10 * time.Second))
+	if got != geo.Pt(20, -10) {
+		t.Fatalf("Position = %v, want (20,-10)", got)
+	}
+}
+
+func TestLinearClampsToBounds(t *testing.T) {
+	m := Linear{
+		Start:    geo.Pt(0, 0),
+		Velocity: geo.Pt(10, 0),
+		Bounds:   geo.RectWH(0, 0, 50, 50),
+		Epoch:    epoch,
+	}
+	if got := m.Position(epoch.Add(time.Minute)); got != geo.Pt(50, 0) {
+		t.Fatalf("Position = %v, want clamped (50,0)", got)
+	}
+}
+
+func TestPatrolLoops(t *testing.T) {
+	m := &Patrol{
+		Waypoints: []geo.Point{geo.Pt(0, 0), geo.Pt(10, 0), geo.Pt(10, 10), geo.Pt(0, 10)},
+		Speed:     1,
+		Epoch:     epoch,
+	}
+	tests := []struct {
+		dt   time.Duration
+		want geo.Point
+	}{
+		{0, geo.Pt(0, 0)},
+		{5 * time.Second, geo.Pt(5, 0)},
+		{10 * time.Second, geo.Pt(10, 0)},
+		{15 * time.Second, geo.Pt(10, 5)},
+		{40 * time.Second, geo.Pt(0, 0)}, // full 40m perimeter
+		{45 * time.Second, geo.Pt(5, 0)}, // second lap
+		{85 * time.Second, geo.Pt(5, 0)}, // third lap
+	}
+	for _, tt := range tests {
+		got := m.Position(epoch.Add(tt.dt))
+		if got.Dist(tt.want) > 1e-9 {
+			t.Errorf("Position(+%v) = %v, want %v", tt.dt, got, tt.want)
+		}
+	}
+}
+
+func TestPatrolDegenerateCases(t *testing.T) {
+	if got := (&Patrol{}).Position(epoch); got != (geo.Point{}) {
+		t.Errorf("empty patrol = %v, want origin", got)
+	}
+	one := &Patrol{Waypoints: []geo.Point{geo.Pt(7, 7)}, Speed: 1, Epoch: epoch}
+	if got := one.Position(epoch.Add(time.Hour)); got != geo.Pt(7, 7) {
+		t.Errorf("single waypoint = %v, want (7,7)", got)
+	}
+	same := &Patrol{Waypoints: []geo.Point{geo.Pt(1, 1), geo.Pt(1, 1)}, Speed: 1, Epoch: epoch}
+	if got := same.Position(epoch.Add(time.Second)); got != geo.Pt(1, 1) {
+		t.Errorf("zero-length loop = %v, want (1,1)", got)
+	}
+}
+
+func TestRandomWaypointStaysInBounds(t *testing.T) {
+	bounds := geo.RectWH(0, 0, 100, 100)
+	w := NewRandomWaypoint(bounds, 1, 5, 2*time.Second, 42)
+	const eps = 1e-6
+	for i := 0; i <= 10_000; i++ {
+		p := w.Position(epoch.Add(time.Duration(i) * 100 * time.Millisecond))
+		if p.X < -eps || p.X > 100+eps || p.Y < -eps || p.Y > 100+eps {
+			t.Fatalf("position %v escaped bounds at step %d", p, i)
+		}
+	}
+}
+
+func TestRandomWaypointMoves(t *testing.T) {
+	w := NewRandomWaypoint(geo.RectWH(0, 0, 1000, 1000), 5, 10, 0, 1)
+	p0 := w.Position(epoch)
+	p1 := w.Position(epoch.Add(30 * time.Second))
+	if p0.Dist(p1) < 1 {
+		t.Fatalf("walker barely moved: %v -> %v", p0, p1)
+	}
+}
+
+func TestRandomWaypointDeterministic(t *testing.T) {
+	mk := func() []geo.Point {
+		w := NewRandomWaypoint(geo.RectWH(0, 0, 100, 100), 1, 3, time.Second, 77)
+		var pts []geo.Point
+		for i := 0; i < 100; i++ {
+			pts = append(pts, w.Position(epoch.Add(time.Duration(i)*time.Second)))
+		}
+		return pts
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRandomWaypointSpeedBounds(t *testing.T) {
+	// Max displacement between consecutive seconds must respect speedMax.
+	w := NewRandomWaypoint(geo.RectWH(0, 0, 500, 500), 2, 4, 0, 5)
+	prev := w.Position(epoch)
+	for i := 1; i < 500; i++ {
+		cur := w.Position(epoch.Add(time.Duration(i) * time.Second))
+		if d := prev.Dist(cur); d > 4+1e-6 {
+			t.Fatalf("moved %v m in 1s, speedMax is 4", d)
+		}
+		prev = cur
+	}
+}
+
+func TestNewRandomWaypointValidation(t *testing.T) {
+	for _, tt := range []struct {
+		name     string
+		min, max float64
+	}{
+		{"zero min", 0, 5},
+		{"negative", -1, 5},
+		{"max below min", 5, 1},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			NewRandomWaypoint(geo.RectWH(0, 0, 1, 1), tt.min, tt.max, 0, 0)
+		})
+	}
+}
+
+func TestGridPositions(t *testing.T) {
+	bounds := geo.RectWH(0, 0, 100, 100)
+	tests := []struct {
+		n int
+	}{{0}, {1}, {4}, {5}, {9}, {16}, {17}}
+	for _, tt := range tests {
+		pts := GridPositions(bounds, tt.n)
+		if len(pts) != tt.n {
+			t.Fatalf("n=%d: got %d points", tt.n, len(pts))
+		}
+		seen := map[geo.Point]bool{}
+		for _, p := range pts {
+			if !bounds.Contains(p) {
+				t.Fatalf("n=%d: point %v outside bounds", tt.n, p)
+			}
+			if seen[p] {
+				t.Fatalf("n=%d: duplicate point %v", tt.n, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestGridPositionsCentered(t *testing.T) {
+	pts := GridPositions(geo.RectWH(0, 0, 100, 100), 1)
+	if pts[0] != geo.Pt(50, 50) {
+		t.Fatalf("single grid point = %v, want centre", pts[0])
+	}
+}
+
+func TestRandomPositions(t *testing.T) {
+	bounds := geo.RectWH(-50, -50, 100, 100)
+	pts := RandomPositions(bounds, 200, 9)
+	if len(pts) != 200 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !bounds.Contains(p) {
+			t.Fatalf("point %v outside bounds", p)
+		}
+	}
+	again := RandomPositions(bounds, 200, 9)
+	for i := range pts {
+		if pts[i] != again[i] {
+			t.Fatal("RandomPositions not deterministic for same seed")
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package filtering implements the Filtering Service of §4.2: “The
+// Filtering Service reconstructs the data streams by eliminating duplicate
+// data messages. Filtered data is then forwarded to the Dispatching
+// Service for delivery to subscribed consumer processes.”
+//
+// Duplicates arise by construction from overlapping receiver zones; the
+// filter removes them with per-stream sequence windows using RFC 1982
+// serial arithmetic, so streams survive 16-bit sequence wrap-around. An
+// optional reorder stage releases messages in sequence order after a
+// bounded hold, using the message “sequence or timing information … to
+// allow messages to be correctly ordered” (§4.3).
+package filtering
+
+import (
+	"sync"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/receiver"
+	"github.com/garnet-middleware/garnet/internal/sim"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// Delivery is one reconstructed (unique) stream message on its way to the
+// Dispatching Service.
+type Delivery struct {
+	Msg      wire.Message
+	At       time.Time // reception time of the accepted copy
+	Receiver string    // receiver that heard the accepted copy
+	RSSI     float64
+}
+
+// DefaultWindowSize is the default per-stream duplicate-detection window,
+// in sequence numbers.
+const DefaultWindowSize = 1024
+
+// Options configures a Filter. The zero value uses DefaultWindowSize and
+// no reordering.
+type Options struct {
+	// WindowSize is the per-stream duplicate window in sequence numbers;
+	// it is rounded up to a multiple of 64. 0 means DefaultWindowSize.
+	WindowSize int
+	// ReorderWindow, when positive, holds each message for at most this
+	// long and releases messages in sequence order. Clock must be set.
+	ReorderWindow time.Duration
+	// Clock drives reorder timers; required iff ReorderWindow > 0.
+	Clock sim.Clock
+}
+
+// Stats is an aggregate snapshot of filter activity.
+type Stats struct {
+	Received      int64 // receptions ingested
+	Delivered     int64 // unique messages forwarded
+	Duplicates    int64 // copies suppressed
+	Stale         int64 // older than the window; dropped
+	Gaps          int64 // sequence numbers skipped (provisionally lost)
+	GapsRecovered int64 // skipped numbers later filled by a late copy
+	ActiveStreams int   // streams with filter state
+}
+
+// StreamStats is a per-stream snapshot.
+type StreamStats struct {
+	Stream     wire.StreamID
+	Delivered  int64
+	Duplicates int64
+	LastSeq    wire.Seq
+	FirstSeen  time.Time
+	LastSeen   time.Time
+}
+
+// Filter is the Filtering Service.
+type Filter struct {
+	opts Options
+	sink func(Delivery)
+
+	mu      sync.Mutex
+	streams map[wire.StreamID]*streamFilter
+
+	received   metrics.Counter
+	delivered  metrics.Counter
+	duplicates metrics.Counter
+	stale      metrics.Counter
+	gaps       metrics.Counter
+	recovered  metrics.Counter
+}
+
+// New creates a Filter forwarding unique messages to sink. New panics on a
+// nil sink, or when ReorderWindow is set without a Clock (programming
+// errors).
+func New(sink func(Delivery), opts Options) *Filter {
+	if sink == nil {
+		panic("filtering: nil sink")
+	}
+	if opts.WindowSize <= 0 {
+		opts.WindowSize = DefaultWindowSize
+	}
+	opts.WindowSize = (opts.WindowSize + 63) &^ 63
+	if opts.ReorderWindow > 0 && opts.Clock == nil {
+		panic("filtering: ReorderWindow requires a Clock")
+	}
+	return &Filter{
+		opts:    opts,
+		sink:    sink,
+		streams: make(map[wire.StreamID]*streamFilter),
+	}
+}
+
+type pendingEntry struct {
+	d       Delivery
+	release time.Time
+}
+
+type streamFilter struct {
+	f *Filter
+
+	base      wire.Seq // highest sequence seen, in serial order
+	window    []uint64 // bit i of the conceptual bitmap = (base - i) seen
+	initiated bool
+
+	delivered  int64
+	duplicates int64
+	firstSeen  time.Time
+	lastSeen   time.Time
+
+	// Reorder state (used only when ReorderWindow > 0): pending entries
+	// sorted ascending by sequence, released front-first once held long
+	// enough.
+	pending []pendingEntry
+	timer   sim.Timer
+}
+
+// Ingest screens one reception. Unique messages reach the sink — either
+// immediately (no reordering) or in sequence order after a bounded hold.
+func (f *Filter) Ingest(rc receiver.Reception) {
+	f.received.Inc()
+	f.mu.Lock()
+	sf, ok := f.streams[rc.Msg.Stream]
+	if !ok {
+		sf = &streamFilter{
+			f:         f,
+			window:    make([]uint64, f.opts.WindowSize/64),
+			firstSeen: rc.At,
+		}
+		f.streams[rc.Msg.Stream] = sf
+	}
+	sf.lastSeen = rc.At
+
+	accepted := sf.accept(rc.Msg.Seq)
+	if !accepted {
+		f.mu.Unlock()
+		return
+	}
+	sf.delivered++
+	d := Delivery{Msg: rc.Msg, At: rc.At, Receiver: rc.Receiver, RSSI: rc.RSSI}
+
+	if f.opts.ReorderWindow <= 0 {
+		f.mu.Unlock()
+		f.delivered.Inc()
+		f.sink(d)
+		return
+	}
+	sf.enqueueLocked(d, rc.At.Add(f.opts.ReorderWindow))
+	f.mu.Unlock()
+}
+
+// accept runs the duplicate window; it reports whether seq is new. Called
+// with f.mu held.
+func (sf *streamFilter) accept(seq wire.Seq) bool {
+	size := len(sf.window) * 64
+	if !sf.initiated {
+		sf.initiated = true
+		sf.base = seq
+		sf.window[0] = 1 // bit 0: base itself
+		return true
+	}
+	d := sf.base.Distance(seq)
+	switch {
+	case d > 0:
+		// New highest sequence: slide the window forward by d.
+		if d-1 > 0 {
+			sf.f.gaps.Add(int64(d - 1))
+		}
+		sf.shift(d)
+		sf.base = seq
+		sf.window[0] |= 1
+		return true
+	case d == 0:
+		sf.duplicates++
+		sf.f.duplicates.Inc()
+		return false
+	default: // d < 0: an older sequence
+		back := -d
+		if back >= size {
+			sf.f.stale.Inc()
+			return false
+		}
+		word, bit := back/64, uint(back%64)
+		if sf.window[word]&(1<<bit) != 0 {
+			sf.duplicates++
+			sf.f.duplicates.Inc()
+			return false
+		}
+		sf.window[word] |= 1 << bit
+		sf.f.recovered.Inc()
+		return true
+	}
+}
+
+// shift slides the bitmap so that bit i becomes bit i+d (older), dropping
+// bits that fall off the end. Called with f.mu held.
+func (sf *streamFilter) shift(d int) {
+	size := len(sf.window) * 64
+	if d >= size {
+		for i := range sf.window {
+			sf.window[i] = 0
+		}
+		return
+	}
+	words, bits := d/64, uint(d%64)
+	n := len(sf.window)
+	if words > 0 {
+		copy(sf.window[words:], sf.window[:n-words])
+		for i := 0; i < words; i++ {
+			sf.window[i] = 0
+		}
+	}
+	if bits > 0 {
+		for i := n - 1; i > 0; i-- {
+			sf.window[i] = sf.window[i]<<bits | sf.window[i-1]>>(64-bits)
+		}
+		sf.window[0] <<= bits
+	}
+}
+
+// enqueueLocked inserts d into the stream's pending list sorted by
+// sequence and (re)arms the release timer.
+func (sf *streamFilter) enqueueLocked(d Delivery, release time.Time) {
+	// Insert sorted by serial sequence order.
+	at := len(sf.pending)
+	for i, p := range sf.pending {
+		if d.Msg.Seq.Less(p.d.Msg.Seq) {
+			at = i
+			break
+		}
+	}
+	sf.pending = append(sf.pending, pendingEntry{})
+	copy(sf.pending[at+1:], sf.pending[at:])
+	sf.pending[at] = pendingEntry{d: d, release: release}
+	sf.armTimerLocked()
+}
+
+func (sf *streamFilter) armTimerLocked() {
+	if len(sf.pending) == 0 {
+		return
+	}
+	if sf.timer != nil {
+		sf.timer.Stop()
+	}
+	clock := sf.f.opts.Clock
+	delay := sf.pending[0].release.Sub(clock.Now())
+	sf.timer = clock.AfterFunc(delay, sf.release)
+}
+
+// release forwards every front entry whose hold has expired, preserving
+// sequence order (a not-yet-expired front entry blocks later ones; its
+// expiry bounds the extra wait).
+func (sf *streamFilter) release() {
+	f := sf.f
+	var out []Delivery
+	f.mu.Lock()
+	now := f.opts.Clock.Now()
+	for len(sf.pending) > 0 && !sf.pending[0].release.After(now) {
+		out = append(out, sf.pending[0].d)
+		sf.pending = sf.pending[1:]
+	}
+	sf.timer = nil
+	sf.armTimerLocked()
+	f.mu.Unlock()
+	for _, d := range out {
+		f.delivered.Inc()
+		f.sink(d)
+	}
+}
+
+// Flush immediately releases all held messages (in per-stream sequence
+// order). Call when shutting down a deployment with reordering enabled.
+func (f *Filter) Flush() {
+	var out []Delivery
+	f.mu.Lock()
+	for _, sf := range f.streams {
+		for _, p := range sf.pending {
+			out = append(out, p.d)
+		}
+		sf.pending = nil
+		if sf.timer != nil {
+			sf.timer.Stop()
+			sf.timer = nil
+		}
+	}
+	f.mu.Unlock()
+	for _, d := range out {
+		f.delivered.Inc()
+		f.sink(d)
+	}
+}
+
+// Stats returns an aggregate snapshot.
+func (f *Filter) Stats() Stats {
+	f.mu.Lock()
+	active := len(f.streams)
+	f.mu.Unlock()
+	return Stats{
+		Received:      f.received.Value(),
+		Delivered:     f.delivered.Value(),
+		Duplicates:    f.duplicates.Value(),
+		Stale:         f.stale.Value(),
+		Gaps:          f.gaps.Value(),
+		GapsRecovered: f.recovered.Value(),
+		ActiveStreams: active,
+	}
+}
+
+// StreamStats returns the per-stream snapshot for id; ok is false when the
+// filter has never seen the stream.
+func (f *Filter) StreamStats(id wire.StreamID) (StreamStats, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	sf, ok := f.streams[id]
+	if !ok {
+		return StreamStats{}, false
+	}
+	return StreamStats{
+		Stream:     id,
+		Delivered:  sf.delivered,
+		Duplicates: sf.duplicates,
+		LastSeq:    sf.base,
+		FirstSeen:  sf.firstSeen,
+		LastSeen:   sf.lastSeen,
+	}, true
+}
+
+// Streams lists the ids of all streams with filter state.
+func (f *Filter) Streams() []wire.StreamID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]wire.StreamID, 0, len(f.streams))
+	for id := range f.streams {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+// Package metrics provides the small set of instrumentation primitives the
+// middleware services and the experiment harness share: atomic counters,
+// gauges and an exact sample-recording histogram for latency and error
+// distributions. The experiments are bounded, so the histogram keeps every
+// sample and reports exact percentiles rather than bucket approximations.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+// The zero value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the counter to stay monotonic;
+// this is not enforced).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous atomic value.
+// The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records every observed sample and reports exact order
+// statistics. The zero value is ready to use. Safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration sample in milliseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the arithmetic mean, or NaN when empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range h.samples {
+		sum += v
+	}
+	return sum / float64(len(h.samples))
+}
+
+func (h *Histogram) sortLocked() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) by
+// nearest-rank, or NaN when empty.
+func (h *Histogram) Percentile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return math.NaN()
+	}
+	h.sortLocked()
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return h.samples[rank-1]
+}
+
+// Min returns the smallest sample, or NaN when empty.
+func (h *Histogram) Min() float64 { return h.Percentile(0) }
+
+// Max returns the largest sample, or NaN when empty.
+func (h *Histogram) Max() float64 { return h.Percentile(100) }
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = h.samples[:0]
+	h.sorted = false
+	h.mu.Unlock()
+}

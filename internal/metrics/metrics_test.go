@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatal("zero value should read 0")
+	}
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 16000 {
+		t.Fatalf("Value = %d, want 16000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Value = %d, want 7", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 {
+		t.Fatal("empty count")
+	}
+	if !math.IsNaN(h.Mean()) || !math.IsNaN(h.Percentile(50)) || !math.IsNaN(h.Min()) || !math.IsNaN(h.Max()) {
+		t.Fatal("empty histogram statistics should be NaN")
+	}
+}
+
+func TestHistogramStatistics(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if got := h.Mean(); got != 3 {
+		t.Fatalf("Mean = %v, want 3", got)
+	}
+	if got := h.Min(); got != 1 {
+		t.Fatalf("Min = %v, want 1", got)
+	}
+	if got := h.Max(); got != 5 {
+		t.Fatalf("Max = %v, want 5", got)
+	}
+	if got := h.Percentile(50); got != 3 {
+		t.Fatalf("p50 = %v, want 3", got)
+	}
+	if got := h.Percentile(90); got != 5 {
+		t.Fatalf("p90 = %v, want 5", got)
+	}
+	if got := h.Percentile(20); got != 1 {
+		t.Fatalf("p20 = %v, want 1", got)
+	}
+}
+
+func TestHistogramObserveAfterPercentile(t *testing.T) {
+	// Percentile sorts in place; later observations must still be seen.
+	var h Histogram
+	h.Observe(10)
+	_ = h.Percentile(50)
+	h.Observe(1)
+	if got := h.Min(); got != 1 {
+		t.Fatalf("Min after late observe = %v, want 1", got)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(1500 * time.Microsecond)
+	if got := h.Mean(); got != 1.5 {
+		t.Fatalf("Mean = %v ms, want 1.5", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(1)
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatal("Reset did not clear samples")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(float64(j))
+				if j%100 == 0 {
+					_ = h.Percentile(50)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 4000 {
+		t.Fatalf("Count = %d, want 4000", got)
+	}
+}

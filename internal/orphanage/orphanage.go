@@ -1,0 +1,229 @@
+// Package orphanage implements the Orphanage of §4.2: “a default consumer
+// process which receives un-configured data. There, data messages are
+// analysed and potentially stored.”
+//
+// The Orphanage buffers a bounded backlog per unclaimed stream, keeps
+// arrival statistics (the analysis a policy layer can act on), and hands
+// the backlog over atomically when a late subscriber finally claims the
+// stream — so data produced before any consumer existed is not lost.
+package orphanage
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/filtering"
+	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// Defaults for Options.
+const (
+	DefaultPerStreamCapacity = 128
+	DefaultMaxStreams        = 1024
+)
+
+// Options configures an Orphanage. The zero value uses the defaults above
+// with no age-based eviction.
+type Options struct {
+	// PerStreamCapacity bounds the buffered backlog per stream; the oldest
+	// messages are discarded first.
+	PerStreamCapacity int
+	// MaxStreams bounds the number of simultaneously held streams; the
+	// stream silent the longest is evicted first.
+	MaxStreams int
+}
+
+// Info describes one orphaned stream (the Orphanage's analysis output).
+type Info struct {
+	Stream    wire.StreamID
+	Seen      int64 // total messages observed
+	Buffered  int   // messages currently held
+	Bytes     int64 // payload bytes currently held
+	FirstSeen time.Time
+	LastSeen  time.Time
+	// Rate is the observed mean message rate in messages/second, or 0
+	// when fewer than two messages have been seen.
+	Rate float64
+}
+
+// Stats is an aggregate snapshot.
+type Stats struct {
+	StreamsHeld     int
+	MessagesHeld    int
+	TotalSeen       int64
+	MessagesDropped int64 // discarded by per-stream capacity
+	StreamsEvicted  int64 // discarded by MaxStreams pressure
+	Claims          int64
+}
+
+type orphanStream struct {
+	buf       []filtering.Delivery // FIFO backlog
+	bytes     int64
+	seen      int64
+	firstSeen time.Time
+	lastSeen  time.Time
+}
+
+// Orphanage is the default consumer for unclaimed data.
+type Orphanage struct {
+	opts Options
+
+	mu      sync.Mutex
+	streams map[wire.StreamID]*orphanStream
+
+	totalSeen metrics.Counter
+	dropped   metrics.Counter
+	evicted   metrics.Counter
+	claims    metrics.Counter
+}
+
+// New creates an Orphanage.
+func New(opts Options) *Orphanage {
+	if opts.PerStreamCapacity <= 0 {
+		opts.PerStreamCapacity = DefaultPerStreamCapacity
+	}
+	if opts.MaxStreams <= 0 {
+		opts.MaxStreams = DefaultMaxStreams
+	}
+	return &Orphanage{
+		opts:    opts,
+		streams: make(map[wire.StreamID]*orphanStream),
+	}
+}
+
+// Name implements dispatch.Consumer.
+func (o *Orphanage) Name() string { return "orphanage" }
+
+// Consume stores one unclaimed delivery. It is the Dispatcher's orphan
+// sink and also satisfies dispatch.Consumer.
+func (o *Orphanage) Consume(d filtering.Delivery) {
+	o.totalSeen.Inc()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st, ok := o.streams[d.Msg.Stream]
+	if !ok {
+		if len(o.streams) >= o.opts.MaxStreams {
+			o.evictStalestLocked()
+		}
+		st = &orphanStream{firstSeen: d.At}
+		o.streams[d.Msg.Stream] = st
+	}
+	st.seen++
+	st.lastSeen = d.At
+	if len(st.buf) >= o.opts.PerStreamCapacity {
+		o.dropped.Inc()
+		st.bytes -= int64(len(st.buf[0].Msg.Payload))
+		st.buf = st.buf[1:]
+	}
+	st.buf = append(st.buf, d)
+	st.bytes += int64(len(d.Msg.Payload))
+}
+
+func (o *Orphanage) evictStalestLocked() {
+	var victim wire.StreamID
+	var oldest time.Time
+	first := true
+	for id, st := range o.streams {
+		if first || st.lastSeen.Before(oldest) {
+			victim, oldest, first = id, st.lastSeen, false
+		}
+	}
+	if !first {
+		delete(o.streams, victim)
+		o.evicted.Inc()
+	}
+}
+
+// Claim atomically removes and returns the buffered backlog for a stream,
+// oldest first. A late subscriber calls this (via the middleware facade)
+// to recover data produced before it subscribed. ok is false when the
+// stream is not held.
+func (o *Orphanage) Claim(id wire.StreamID) (backlog []filtering.Delivery, ok bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st, ok := o.streams[id]
+	if !ok {
+		return nil, false
+	}
+	delete(o.streams, id)
+	o.claims.Inc()
+	return st.buf, true
+}
+
+// Streams lists every held stream with its analysis, sorted by id.
+func (o *Orphanage) Streams() []Info {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]Info, 0, len(o.streams))
+	for id, st := range o.streams {
+		out = append(out, o.infoLocked(id, st))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stream < out[j].Stream })
+	return out
+}
+
+// StreamInfo returns the analysis for one stream.
+func (o *Orphanage) StreamInfo(id wire.StreamID) (Info, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st, ok := o.streams[id]
+	if !ok {
+		return Info{}, false
+	}
+	return o.infoLocked(id, st), true
+}
+
+func (o *Orphanage) infoLocked(id wire.StreamID, st *orphanStream) Info {
+	info := Info{
+		Stream:    id,
+		Seen:      st.seen,
+		Buffered:  len(st.buf),
+		Bytes:     st.bytes,
+		FirstSeen: st.firstSeen,
+		LastSeen:  st.lastSeen,
+	}
+	if st.seen >= 2 {
+		if span := st.lastSeen.Sub(st.firstSeen).Seconds(); span > 0 {
+			info.Rate = float64(st.seen-1) / span
+		}
+	}
+	return info
+}
+
+// EvictBefore discards every stream whose last message predates cutoff,
+// returning the number evicted. A deployment policy typically calls this
+// periodically.
+func (o *Orphanage) EvictBefore(cutoff time.Time) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := 0
+	for id, st := range o.streams {
+		if st.lastSeen.Before(cutoff) {
+			delete(o.streams, id)
+			o.evicted.Inc()
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns an aggregate snapshot.
+func (o *Orphanage) Stats() Stats {
+	o.mu.Lock()
+	held := 0
+	for _, st := range o.streams {
+		held += len(st.buf)
+	}
+	streams := len(o.streams)
+	o.mu.Unlock()
+	return Stats{
+		StreamsHeld:     streams,
+		MessagesHeld:    held,
+		TotalSeen:       o.totalSeen.Value(),
+		MessagesDropped: o.dropped.Value(),
+		StreamsEvicted:  o.evicted.Value(),
+		Claims:          o.claims.Value(),
+	}
+}

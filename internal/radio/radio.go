@@ -1,0 +1,234 @@
+// Package radio simulates the unreliable wireless medium between the
+// mobile sensor field and the fixed network (§3 of the paper: “mobile
+// sensors transmit data over an unreliable wireless medium to a fixed
+// network infrastructure”).
+//
+// The medium is a broadcast channel with range-limited delivery: a frame
+// broadcast from a point reaches every attached listener whose reception
+// zone covers the transmitter and that lies within the transmitter's
+// range. Overlapping receiver zones therefore duplicate frames by
+// construction — the phenomenon the Filtering Service exists to undo —
+// and independent per-delivery loss, delay jitter and byte corruption
+// model the unreliable channel. Uplink (sensor → receivers) and downlink
+// (transmitters → sensors) are separate bands.
+//
+// All randomness comes from a seeded PCG stream and all scheduling from a
+// sim.Clock, so a run is reproducible bit-for-bit.
+package radio
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/geo"
+	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/sim"
+)
+
+// Band separates uplink (data messages towards the receivers) from
+// downlink (control messages towards the sensors); physically these would
+// be distinct frequencies.
+type Band uint8
+
+const (
+	// BandUplink carries sensor data messages to the receiver array.
+	BandUplink Band = iota + 1
+	// BandDownlink carries control messages from the transmitters to
+	// receive-capable sensors.
+	BandDownlink
+
+	bandCount = 2
+)
+
+// String names the band.
+func (b Band) String() string {
+	switch b {
+	case BandUplink:
+		return "uplink"
+	case BandDownlink:
+		return "downlink"
+	default:
+		return "band(?)"
+	}
+}
+
+// Frame is a delivered radio frame. Data is owned by the recipient (each
+// delivery receives an independent copy, since corruption is simulated
+// per delivery).
+type Frame struct {
+	Data []byte
+	From geo.Point // transmit position (ground truth; used only by the simulator)
+	At   time.Time // delivery time on the medium's clock
+}
+
+// Listener is an attachment point on the medium: a reception zone plus a
+// delivery callback. Position is queried at broadcast time so mobile nodes
+// (sensors on the downlink band) are heard at their current location.
+//
+// Deliver runs on the clock's callback goroutine and must not block.
+type Listener struct {
+	Name     string
+	Position func() geo.Point
+	Radius   float64
+	Deliver  func(Frame)
+}
+
+// Params configures medium impairments. The zero value is a perfect,
+// zero-latency channel.
+type Params struct {
+	// LossProb is the probability an individual delivery is lost.
+	LossProb float64
+	// CorruptProb is the probability an individual delivery has one byte
+	// flipped (screened out downstream by the frame checksum).
+	CorruptProb float64
+	// DelayMin and DelayMax bound the uniform propagation+MAC delay applied
+	// to each delivery.
+	DelayMin, DelayMax time.Duration
+	// Seed seeds the medium's private random stream.
+	Seed uint64
+}
+
+// Metrics counts medium activity. Read with atomic-safe Value calls.
+type Metrics struct {
+	Broadcasts metrics.Counter // frames offered to the medium
+	Deliveries metrics.Counter // copies delivered to listeners
+	Lost       metrics.Counter // copies dropped by the loss process
+	Corrupted  metrics.Counter // copies delivered with a flipped byte
+	OutOfRange metrics.Counter // broadcasts that reached zero listeners
+}
+
+// Medium is the simulated shared wireless channel.
+type Medium struct {
+	clock  sim.Clock
+	params Params
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	listeners [bandCount]map[int]*Listener
+	nextID    int
+
+	metrics Metrics
+}
+
+// NewMedium creates a medium on the given clock. NewMedium panics if
+// DelayMax < DelayMin (a configuration programming error).
+func NewMedium(clock sim.Clock, p Params) *Medium {
+	if p.DelayMax < p.DelayMin {
+		panic("radio: DelayMax < DelayMin")
+	}
+	m := &Medium{
+		clock:  clock,
+		params: p,
+		rng:    sim.NewRand(sim.SubSeed(p.Seed, "radio.medium")),
+	}
+	for i := range m.listeners {
+		m.listeners[i] = make(map[int]*Listener)
+	}
+	return m
+}
+
+// Attach registers a listener on a band and returns a function that
+// detaches it. Attach panics on an undefined band or a nil Position or
+// Deliver (programming errors).
+func (m *Medium) Attach(band Band, l *Listener) (detach func()) {
+	if band != BandUplink && band != BandDownlink {
+		panic("radio: invalid band")
+	}
+	if l.Position == nil || l.Deliver == nil {
+		panic("radio: listener needs Position and Deliver")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextID
+	m.nextID++
+	m.listeners[band-1][id] = l
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			delete(m.listeners[band-1], id)
+		})
+	}
+}
+
+// Broadcast offers a frame to the medium from a transmit position with a
+// transmit range. Every listener on the band whose zone covers the
+// transmitter and that sits within txRange receives an independent copy,
+// subject to loss, delay and corruption. The data slice is copied
+// immediately; the caller may reuse it.
+func (m *Medium) Broadcast(band Band, from geo.Point, txRange float64, data []byte) {
+	m.metrics.Broadcasts.Inc()
+
+	m.mu.Lock()
+	reached := 0
+	type delivery struct {
+		l       *Listener
+		delay   time.Duration
+		corrupt bool
+		flipPos int
+		flipBit byte
+	}
+	var deliveries []delivery
+	// Iterate in attach order (not map order) so the per-delivery random
+	// draws are reproducible across runs with the same seed.
+	ids := make([]int, 0, len(m.listeners[band-1]))
+	for id := range m.listeners[band-1] {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		l := m.listeners[band-1][id]
+		pos := l.Position()
+		d2 := from.DistSq(pos)
+		if d2 > txRange*txRange || d2 > l.Radius*l.Radius {
+			continue
+		}
+		reached++
+		if m.params.LossProb > 0 && m.rng.Float64() < m.params.LossProb {
+			m.metrics.Lost.Inc()
+			continue
+		}
+		dv := delivery{l: l, delay: m.params.DelayMin}
+		if jitter := m.params.DelayMax - m.params.DelayMin; jitter > 0 {
+			dv.delay += time.Duration(m.rng.Int64N(int64(jitter) + 1))
+		}
+		if m.params.CorruptProb > 0 && m.rng.Float64() < m.params.CorruptProb && len(data) > 0 {
+			dv.corrupt = true
+			dv.flipPos = m.rng.IntN(len(data))
+			dv.flipBit = byte(1 << m.rng.UintN(8))
+		}
+		deliveries = append(deliveries, dv)
+	}
+	m.mu.Unlock()
+
+	if reached == 0 {
+		m.metrics.OutOfRange.Inc()
+		return
+	}
+	for _, dv := range deliveries {
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		if dv.corrupt {
+			buf[dv.flipPos] ^= dv.flipBit
+			m.metrics.Corrupted.Inc()
+		}
+		l := dv.l
+		m.clock.AfterFunc(dv.delay, func() {
+			m.metrics.Deliveries.Inc()
+			l.Deliver(Frame{Data: buf, From: from, At: m.clock.Now()})
+		})
+	}
+}
+
+// Listeners returns the number of listeners attached to a band.
+func (m *Medium) Listeners(band Band) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.listeners[band-1])
+}
+
+// Metrics exposes the medium's counters.
+func (m *Medium) Metrics() *Metrics { return &m.metrics }

@@ -1,0 +1,148 @@
+// Package receiver implements the fixed-network receiver array of §4.2:
+// receivers “are arranged such that their effective receiving areas may
+// overlap. Such coverage improves data reception but causes potential
+// duplication of data messages.”
+//
+// Each Receiver owns a reception zone on the uplink band, screens frames
+// through the wire checksum, stamps every surviving message with a
+// reception record — receiver identity, a received-signal-strength proxy
+// and the reception time — and hands it to its sink (the Filtering
+// Service, with a copy of the reception metadata feeding the Location
+// Service).
+package receiver
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/geo"
+	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/radio"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// Reception is one decoded data message together with the reception
+// metadata the rest of the fixed network relies on. The transmit position
+// itself is deliberately absent: the middleware only ever sees receiver
+// identity and signal strength, from which location must be inferred (§5
+// “inferred location data”).
+type Reception struct {
+	Msg      wire.Message
+	Receiver string    // name of the receiver that heard this copy
+	RSSI     float64   // signal-strength proxy in (0, 1]; larger = closer
+	At       time.Time // reception time at the fixed network
+}
+
+// Config configures a Receiver.
+type Config struct {
+	Name     string
+	Position geo.Point
+	Radius   float64 // reception zone radius, metres
+}
+
+// Stats is a snapshot of one receiver's counters.
+type Stats struct {
+	FramesHeard int64 // raw frames delivered by the medium
+	Corrupt     int64 // frames failing decode or checksum
+	Decoded     int64 // receptions passed to the sink
+}
+
+// Receiver is one element of the receiver array.
+type Receiver struct {
+	cfg    Config
+	medium *radio.Medium
+	sink   func(Reception)
+	detach func()
+
+	heard   metrics.Counter
+	corrupt metrics.Counter
+	decoded metrics.Counter
+}
+
+// New creates a stopped Receiver delivering to sink. New panics on a nil
+// sink or a non-positive radius (programming errors).
+func New(medium *radio.Medium, cfg Config, sink func(Reception)) *Receiver {
+	if sink == nil {
+		panic("receiver: nil sink")
+	}
+	if cfg.Radius <= 0 {
+		panic("receiver: radius must be positive")
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("rx@%s", cfg.Position)
+	}
+	return &Receiver{cfg: cfg, medium: medium, sink: sink}
+}
+
+// Name returns the receiver's name.
+func (r *Receiver) Name() string { return r.cfg.Name }
+
+// Position returns the receiver's fixed position.
+func (r *Receiver) Position() geo.Point { return r.cfg.Position }
+
+// Radius returns the reception zone radius.
+func (r *Receiver) Radius() float64 { return r.cfg.Radius }
+
+// Start attaches the receiver to the medium. Idempotent.
+func (r *Receiver) Start() {
+	if r.detach != nil {
+		return
+	}
+	r.detach = r.medium.Attach(radio.BandUplink, &radio.Listener{
+		Name:     r.cfg.Name,
+		Position: func() geo.Point { return r.cfg.Position },
+		Radius:   r.cfg.Radius,
+		Deliver:  r.onFrame,
+	})
+}
+
+// Stop detaches the receiver. Idempotent.
+func (r *Receiver) Stop() {
+	if r.detach != nil {
+		r.detach()
+		r.detach = nil
+	}
+}
+
+func (r *Receiver) onFrame(f radio.Frame) {
+	r.heard.Inc()
+	msg, _, err := wire.DecodeMessage(f.Data)
+	if err != nil {
+		r.corrupt.Inc()
+		return
+	}
+	r.decoded.Inc()
+	r.sink(Reception{
+		Msg:      msg,
+		Receiver: r.cfg.Name,
+		RSSI:     r.rssi(f.From),
+		At:       f.At,
+	})
+}
+
+// rssi converts transmitter distance into the signal-strength proxy: 1 at
+// the receiver itself falling linearly to a small floor at the zone edge.
+// A real deployment would read this from the radio hardware; the linear
+// proxy preserves the only property the location service needs, namely
+// that strength decreases monotonically with distance.
+func (r *Receiver) rssi(from geo.Point) float64 {
+	const floor = 0.01
+	d := r.cfg.Position.Dist(from)
+	if d >= r.cfg.Radius {
+		return floor
+	}
+	v := 1 - d/r.cfg.Radius
+	if v < floor {
+		return floor
+	}
+	return v
+}
+
+// Stats returns a snapshot of the receiver's counters.
+func (r *Receiver) Stats() Stats {
+	return Stats{
+		FramesHeard: r.heard.Value(),
+		Corrupt:     r.corrupt.Value(),
+		Decoded:     r.decoded.Value(),
+	}
+}

@@ -1,0 +1,229 @@
+// Package registry implements the registration and authentication
+// mechanisms of §3: consumers “use typical advertising, discovery,
+// registration, authentication and publish/subscribe mechanisms to
+// identify, subscribe to, and receive data streams of interest”.
+//
+// A consumer registers under a unique name with a set of capability
+// permissions and receives an HMAC-signed bearer token. Every privileged
+// middleware operation (subscribing, actuating, hinting, reading location
+// streams, reporting state to the Super Coordinator) authenticates the
+// token and checks the corresponding permission — including the paper's
+// distinguished “trusted applications” that may provide advance warning of
+// changing needs and override sensor-management policies (§9).
+package registry
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/sim"
+)
+
+// Permission is the bit set of capabilities granted to a consumer.
+type Permission uint8
+
+const (
+	// PermSubscribe allows subscribing to ordinary data streams.
+	PermSubscribe Permission = 1 << iota
+	// PermActuate allows submitting stream-update requests on the return
+	// actuation path.
+	PermActuate
+	// PermHint allows supplying location hints to the Location Service.
+	PermHint
+	// PermLocation allows subscribing to the protected location streams
+	// (§2: “location information may be regarded as sensitive and should
+	// be protected by additional security mechanisms”).
+	PermLocation
+	// PermTrusted marks a trusted application: it may report state changes
+	// to the Super Coordinator and override resource-management policies.
+	PermTrusted
+)
+
+// Has reports whether every permission in q is granted.
+func (p Permission) Has(q Permission) bool { return p&q == q }
+
+// String lists granted permissions, e.g. "subscribe|actuate".
+func (p Permission) String() string {
+	if p == 0 {
+		return "none"
+	}
+	names := []struct {
+		bit  Permission
+		name string
+	}{
+		{PermSubscribe, "subscribe"},
+		{PermActuate, "actuate"},
+		{PermHint, "hint"},
+		{PermLocation, "location"},
+		{PermTrusted, "trusted"},
+	}
+	var parts []string
+	for _, n := range names {
+		if p.Has(n.bit) {
+			parts = append(parts, n.name)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// Identity is a registered consumer.
+type Identity struct {
+	Name         string
+	Permissions  Permission
+	RegisteredAt time.Time
+}
+
+// Token is a bearer credential returned by Register.
+type Token string
+
+// Registry errors.
+var (
+	ErrNameTaken  = errors.New("registry: name already registered")
+	ErrBadToken   = errors.New("registry: malformed or forged token")
+	ErrRevoked    = errors.New("registry: consumer revoked")
+	ErrUnknown    = errors.New("registry: unknown consumer")
+	ErrPermission = errors.New("registry: permission denied")
+	ErrEmptyName  = errors.New("registry: empty consumer name")
+)
+
+// Registry issues and verifies consumer credentials.
+type Registry struct {
+	secret []byte
+	clock  sim.Clock
+
+	mu     sync.Mutex
+	byName map[string]Identity
+}
+
+// New creates a Registry signing tokens with the deployment secret. New
+// panics on an empty secret (a deployment configuration error).
+func New(secret []byte, clock sim.Clock) *Registry {
+	if len(secret) == 0 {
+		panic("registry: empty secret")
+	}
+	cp := make([]byte, len(secret))
+	copy(cp, secret)
+	return &Registry{
+		secret: cp,
+		clock:  clock,
+		byName: make(map[string]Identity),
+	}
+}
+
+// Register adds a consumer and returns its bearer token.
+func (r *Registry) Register(name string, perms Permission) (Token, error) {
+	if name == "" {
+		return "", ErrEmptyName
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, taken := r.byName[name]; taken {
+		return "", fmt.Errorf("%w: %q", ErrNameTaken, name)
+	}
+	r.byName[name] = Identity{Name: name, Permissions: perms, RegisteredAt: r.clock.Now()}
+	return r.mint(name, perms), nil
+}
+
+func (r *Registry) mint(name string, perms Permission) Token {
+	body := encodeBody(name, perms)
+	mac := r.sign(body)
+	return Token(body + "." + base64.RawURLEncoding.EncodeToString(mac))
+}
+
+func encodeBody(name string, perms Permission) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(name)) + "." +
+		base64.RawURLEncoding.EncodeToString([]byte{byte(perms)})
+}
+
+func (r *Registry) sign(body string) []byte {
+	h := hmac.New(sha256.New, r.secret)
+	h.Write([]byte(body))
+	return h.Sum(nil)
+}
+
+// Authenticate verifies a token and returns the live identity. It fails
+// when the token is malformed or forged, the consumer was never
+// registered, it was revoked, or its permissions changed since minting.
+func (r *Registry) Authenticate(tok Token) (Identity, error) {
+	parts := strings.Split(string(tok), ".")
+	if len(parts) != 3 {
+		return Identity{}, ErrBadToken
+	}
+	body := parts[0] + "." + parts[1]
+	mac, err := base64.RawURLEncoding.DecodeString(parts[2])
+	if err != nil || !hmac.Equal(mac, r.sign(body)) {
+		return Identity{}, ErrBadToken
+	}
+	nameRaw, err := base64.RawURLEncoding.DecodeString(parts[0])
+	if err != nil {
+		return Identity{}, ErrBadToken
+	}
+	permRaw, err := base64.RawURLEncoding.DecodeString(parts[1])
+	if err != nil || len(permRaw) != 1 {
+		return Identity{}, ErrBadToken
+	}
+	name, perms := string(nameRaw), Permission(permRaw[0])
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.byName[name]
+	if !ok {
+		return Identity{}, fmt.Errorf("%w: %q", ErrRevoked, name)
+	}
+	if id.Permissions != perms {
+		// Permissions were changed after this token was minted; force
+		// re-registration rather than honouring stale capabilities.
+		return Identity{}, ErrBadToken
+	}
+	return id, nil
+}
+
+// Require authenticates tok and verifies it grants every permission in
+// need, returning the identity on success.
+func (r *Registry) Require(tok Token, need Permission) (Identity, error) {
+	id, err := r.Authenticate(tok)
+	if err != nil {
+		return Identity{}, err
+	}
+	if !id.Permissions.Has(need) {
+		return Identity{}, fmt.Errorf("%w: %q lacks %v", ErrPermission, id.Name, need&^id.Permissions)
+	}
+	return id, nil
+}
+
+// Revoke removes a consumer; its outstanding tokens stop verifying.
+// It reports whether the name was registered.
+func (r *Registry) Revoke(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.byName[name]
+	delete(r.byName, name)
+	return ok
+}
+
+// Lookup returns the identity registered under name.
+func (r *Registry) Lookup(name string) (Identity, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.byName[name]
+	return id, ok
+}
+
+// Identities lists all registered consumers sorted by name.
+func (r *Registry) Identities() []Identity {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Identity, 0, len(r.byName))
+	for _, id := range r.byName {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,215 @@
+package registry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/sim"
+)
+
+var epoch = time.Date(2003, 5, 19, 0, 0, 0, 0, time.UTC)
+
+func newRegistry() *Registry {
+	return New([]byte("deployment-secret"), sim.NewVirtualClock(epoch))
+}
+
+func TestRegisterAndAuthenticate(t *testing.T) {
+	r := newRegistry()
+	tok, err := r.Register("habitat-app", PermSubscribe|PermActuate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := r.Authenticate(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Name != "habitat-app" || !id.Permissions.Has(PermSubscribe|PermActuate) {
+		t.Fatalf("identity = %+v", id)
+	}
+	if !id.RegisteredAt.Equal(epoch) {
+		t.Fatalf("RegisteredAt = %v", id.RegisteredAt)
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	r := newRegistry()
+	if _, err := r.Register("app", PermSubscribe); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("app", PermSubscribe); !errors.Is(err, ErrNameTaken) {
+		t.Fatalf("err = %v, want ErrNameTaken", err)
+	}
+}
+
+func TestEmptyNameRejected(t *testing.T) {
+	r := newRegistry()
+	if _, err := r.Register("", PermSubscribe); !errors.Is(err, ErrEmptyName) {
+		t.Fatalf("err = %v, want ErrEmptyName", err)
+	}
+}
+
+func TestForgedTokenRejected(t *testing.T) {
+	r := newRegistry()
+	tok, err := r.Register("app", PermSubscribe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		tok  Token
+	}{
+		{"garbage", Token("not-a-token")},
+		{"two parts", Token("aaaa.bbbb")},
+		{"flipped mac byte", flipLastChar(tok)},
+		{"empty", Token("")},
+		{"bad base64 body", Token("!!!!." + strings.Split(string(tok), ".")[1] + "." + strings.Split(string(tok), ".")[2])},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := r.Authenticate(tt.tok); !errors.Is(err, ErrBadToken) {
+				t.Errorf("err = %v, want ErrBadToken", err)
+			}
+		})
+	}
+}
+
+func flipLastChar(tok Token) Token {
+	b := []byte(tok)
+	if b[len(b)-1] == 'A' {
+		b[len(b)-1] = 'B'
+	} else {
+		b[len(b)-1] = 'A'
+	}
+	return Token(b)
+}
+
+func TestTokenFromDifferentSecretRejected(t *testing.T) {
+	r1 := newRegistry()
+	r2 := New([]byte("other-secret"), sim.NewVirtualClock(epoch))
+	tok, err := r1.Register("app", PermSubscribe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Register("app", PermSubscribe); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Authenticate(tok); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("cross-deployment token accepted: %v", err)
+	}
+}
+
+func TestPermissionEscalationRejected(t *testing.T) {
+	r := newRegistry()
+	tok, err := r.Register("app", PermSubscribe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An attacker re-encodes the body claiming PermTrusted but cannot forge
+	// the mac.
+	parts := strings.Split(string(tok), ".")
+	forged := Token(parts[0] + "." + "HQ" + "." + parts[2]) // body changed, mac stale
+	if _, err := r.Authenticate(forged); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("escalated token accepted: %v", err)
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	r := newRegistry()
+	tok, err := r.Register("app", PermSubscribe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Revoke("app") {
+		t.Fatal("Revoke returned false")
+	}
+	if r.Revoke("app") {
+		t.Fatal("second Revoke returned true")
+	}
+	if _, err := r.Authenticate(tok); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("err = %v, want ErrRevoked", err)
+	}
+}
+
+func TestRequire(t *testing.T) {
+	r := newRegistry()
+	tok, err := r.Register("app", PermSubscribe|PermHint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Require(tok, PermSubscribe); err != nil {
+		t.Fatalf("Require(subscribe) = %v", err)
+	}
+	if _, err := r.Require(tok, PermSubscribe|PermHint); err != nil {
+		t.Fatalf("Require(both) = %v", err)
+	}
+	if _, err := r.Require(tok, PermActuate); !errors.Is(err, ErrPermission) {
+		t.Fatalf("Require(actuate) = %v, want ErrPermission", err)
+	}
+	if _, err := r.Require(tok, PermTrusted); !errors.Is(err, ErrPermission) {
+		t.Fatalf("Require(trusted) = %v, want ErrPermission", err)
+	}
+}
+
+func TestLookupAndIdentities(t *testing.T) {
+	r := newRegistry()
+	names := []string{"zeta", "alpha", "mid"}
+	for _, n := range names {
+		if _, err := r.Register(n, PermSubscribe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := r.Lookup("alpha"); !ok {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := r.Lookup("ghost"); ok {
+		t.Fatal("Lookup of unknown name succeeded")
+	}
+	ids := r.Identities()
+	if len(ids) != 3 {
+		t.Fatalf("Identities = %d", len(ids))
+	}
+	if ids[0].Name != "alpha" || ids[1].Name != "mid" || ids[2].Name != "zeta" {
+		t.Fatalf("not sorted: %v", ids)
+	}
+}
+
+func TestPermissionString(t *testing.T) {
+	tests := []struct {
+		p    Permission
+		want string
+	}{
+		{0, "none"},
+		{PermSubscribe, "subscribe"},
+		{PermSubscribe | PermActuate, "subscribe|actuate"},
+		{PermTrusted, "trusted"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("Permission(%d).String() = %q, want %q", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestNewPanicsOnEmptySecret(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(nil, sim.NewVirtualClock(epoch))
+}
+
+func TestSecretIsCopied(t *testing.T) {
+	secret := []byte("mutable")
+	r := New(secret, sim.NewVirtualClock(epoch))
+	tok, err := r.Register("app", PermSubscribe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret[0] = 'X' // caller mutates its buffer
+	if _, err := r.Authenticate(tok); err != nil {
+		t.Fatal("registry aliased the caller's secret buffer")
+	}
+}

@@ -1,0 +1,150 @@
+// Package replicator implements the Message Replicator of §4.2: it
+// “determines the expected location area of the target sensor. Based on
+// the location area, the appropriate set of Transmitters broadcast the
+// request, whereupon it may be received by the sensor node.”
+//
+// When the Location Service can bound the target's position, only the
+// transmitters whose coverage intersects the expected area broadcast —
+// the §5 rationale for inferred location (“a refinement … required to
+// reduce transmission costs when forwarding control messages”). When the
+// target's location is unknown, the replicator falls back to flooding
+// every transmitter, preserving the location-neutral delivery guarantee.
+package replicator
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/garnet-middleware/garnet/internal/geo"
+	"github.com/garnet-middleware/garnet/internal/location"
+	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/transmit"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// Locator answers expected-location queries; satisfied by
+// *location.Service.
+type Locator interface {
+	Locate(sensor wire.SensorID) (location.Estimate, error)
+}
+
+// Options configures a Replicator.
+type Options struct {
+	// Margin inflates the estimate's uncertainty radius before matching
+	// transmitter coverage, to absorb sensor movement since the estimate.
+	// Default 1.5.
+	Margin float64
+	// Targeted disables the location lookup entirely when false, flooding
+	// every control message — the location-neutral baseline in the
+	// targeted-actuation experiment (E6). Default true.
+	Targeted bool
+}
+
+// Stats is a snapshot of replicator counters.
+type Stats struct {
+	Requests   int64 // control messages replicated
+	Targeted   int64 // requests sent to a located subset
+	Flooded    int64 // requests broadcast by every transmitter
+	Broadcasts int64 // transmitter broadcasts used in total
+}
+
+// Replicator fans control frames out to the right transmitters.
+type Replicator struct {
+	locator Locator
+	opts    Options
+
+	mu           sync.Mutex
+	transmitters []*transmit.Transmitter
+
+	requests   metrics.Counter
+	targeted   metrics.Counter
+	flooded    metrics.Counter
+	broadcasts metrics.Counter
+}
+
+// ErrNoTransmitters is returned when Send has nowhere to broadcast.
+var ErrNoTransmitters = errors.New("replicator: no transmitters attached")
+
+// New creates a Replicator. locator may be nil, in which case every
+// request floods.
+func New(locator Locator, opts Options) *Replicator {
+	if opts.Margin <= 0 {
+		opts.Margin = 1.5
+	}
+	return &Replicator{locator: locator, opts: opts}
+}
+
+// NewFlooding creates a location-neutral replicator (the E6 baseline).
+func NewFlooding() *Replicator {
+	return &Replicator{opts: Options{Margin: 1.5, Targeted: false}}
+}
+
+// AddTransmitter attaches one transmitter to the array.
+func (r *Replicator) AddTransmitter(t *transmit.Transmitter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.transmitters = append(r.transmitters, t)
+}
+
+// Transmitters returns the attached transmitter count.
+func (r *Replicator) Transmitters() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.transmitters)
+}
+
+// Send encodes the control message once and broadcasts it from the
+// transmitter subset covering the target's expected location area
+// (falling back to flooding). It returns the number of transmitters used.
+func (r *Replicator) Send(c wire.ControlMessage) (int, error) {
+	frame, err := c.Encode()
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	txs := make([]*transmit.Transmitter, len(r.transmitters))
+	copy(txs, r.transmitters)
+	r.mu.Unlock()
+	if len(txs) == 0 {
+		return 0, ErrNoTransmitters
+	}
+	r.requests.Inc()
+
+	chosen := txs
+	targeted := false
+	if r.locator != nil && r.opts.Targeted {
+		if est, err := r.locator.Locate(c.Target.Sensor()); err == nil {
+			area := geo.Circle{Center: est.Pos, R: est.Uncertainty*r.opts.Margin + 1}
+			var subset []*transmit.Transmitter
+			for _, t := range txs {
+				if t.Coverage().IntersectsCircle(area) {
+					subset = append(subset, t)
+				}
+			}
+			if len(subset) > 0 {
+				chosen = subset
+				targeted = true
+			}
+		}
+	}
+	if targeted {
+		r.targeted.Inc()
+	} else {
+		r.flooded.Inc()
+	}
+	for _, t := range chosen {
+		t.Broadcast(frame)
+		r.broadcasts.Inc()
+	}
+	return len(chosen), nil
+}
+
+// Stats returns a snapshot of the replicator counters.
+func (r *Replicator) Stats() Stats {
+	return Stats{
+		Requests:   r.requests.Value(),
+		Targeted:   r.targeted.Value(),
+		Flooded:    r.flooded.Value(),
+		Broadcasts: r.broadcasts.Value(),
+	}
+}

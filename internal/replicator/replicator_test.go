@@ -1,0 +1,218 @@
+package replicator
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/geo"
+	"github.com/garnet-middleware/garnet/internal/location"
+	"github.com/garnet-middleware/garnet/internal/radio"
+	"github.com/garnet-middleware/garnet/internal/sim"
+	"github.com/garnet-middleware/garnet/internal/transmit"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+var epoch = time.Date(2003, 5, 19, 0, 0, 0, 0, time.UTC)
+
+type fakeLocator struct {
+	estimates map[wire.SensorID]location.Estimate
+}
+
+func (f *fakeLocator) Locate(id wire.SensorID) (location.Estimate, error) {
+	est, ok := f.estimates[id]
+	if !ok {
+		return location.Estimate{}, location.ErrUnknownSensor
+	}
+	return est, nil
+}
+
+func ctrl(sensor wire.SensorID) wire.ControlMessage {
+	return wire.ControlMessage{UpdateID: 1, Target: wire.MustStreamID(sensor, 0), Op: wire.OpPing, Issued: epoch}
+}
+
+// rig builds a medium with three transmitters at x = 0, 1000, 2000, each
+// with 400 m range, and a downlink listener counting frames per region.
+func rig(t *testing.T) (*sim.VirtualClock, *radio.Medium, []*transmit.Transmitter) {
+	t.Helper()
+	clock := sim.NewVirtualClock(epoch)
+	medium := radio.NewMedium(clock, radio.Params{})
+	var txs []*transmit.Transmitter
+	for i, x := range []float64{0, 1000, 2000} {
+		txs = append(txs, transmit.New(medium, transmit.Config{
+			Name:     "tx-" + string(rune('a'+i)),
+			Position: geo.Pt(x, 0),
+			Range:    400,
+		}))
+	}
+	return clock, medium, txs
+}
+
+func TestSendWithoutTransmitters(t *testing.T) {
+	r := New(nil, Options{})
+	if _, err := r.Send(ctrl(1)); !errors.Is(err, ErrNoTransmitters) {
+		t.Fatalf("err = %v, want ErrNoTransmitters", err)
+	}
+}
+
+func TestFloodWhenLocationUnknown(t *testing.T) {
+	_, _, txs := rig(t)
+	r := New(&fakeLocator{estimates: map[wire.SensorID]location.Estimate{}}, Options{Targeted: true})
+	for _, tx := range txs {
+		r.AddTransmitter(tx)
+	}
+	n, err := r.Send(ctrl(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("used %d transmitters, want all 3 (flood)", n)
+	}
+	st := r.Stats()
+	if st.Flooded != 1 || st.Targeted != 0 || st.Broadcasts != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTargetedSubset(t *testing.T) {
+	_, _, txs := rig(t)
+	loc := &fakeLocator{estimates: map[wire.SensorID]location.Estimate{
+		42: {Sensor: 42, Pos: geo.Pt(0, 100), Uncertainty: 50, Confidence: 0.8},
+	}}
+	r := New(loc, Options{Targeted: true})
+	for _, tx := range txs {
+		r.AddTransmitter(tx)
+	}
+	n, err := r.Send(ctrl(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Area circle (0,100) r≈76 touches only tx-a at (0,0) range 400.
+	if n != 1 {
+		t.Fatalf("used %d transmitters, want 1 (targeted)", n)
+	}
+	st := r.Stats()
+	if st.Targeted != 1 || st.Broadcasts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUncertaintyWidensSelection(t *testing.T) {
+	_, _, txs := rig(t)
+	loc := &fakeLocator{estimates: map[wire.SensorID]location.Estimate{
+		42: {Sensor: 42, Pos: geo.Pt(500, 0), Uncertainty: 300, Confidence: 0.3},
+	}}
+	r := New(loc, Options{Targeted: true, Margin: 1.5})
+	for _, tx := range txs {
+		r.AddTransmitter(tx)
+	}
+	n, err := r.Send(ctrl(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Area circle (500,0) r=451 overlaps tx-a (dist 500 < 400+451) and
+	// tx-b (dist 500 < 400+451) but not tx-c (dist 1500).
+	if n != 2 {
+		t.Fatalf("used %d transmitters, want 2", n)
+	}
+}
+
+func TestEstimateOutsideAllCoverageFloods(t *testing.T) {
+	_, _, txs := rig(t)
+	loc := &fakeLocator{estimates: map[wire.SensorID]location.Estimate{
+		42: {Sensor: 42, Pos: geo.Pt(0, 99_999), Uncertainty: 10, Confidence: 0.9},
+	}}
+	r := New(loc, Options{Targeted: true})
+	for _, tx := range txs {
+		r.AddTransmitter(tx)
+	}
+	n, err := r.Send(ctrl(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("used %d transmitters, want 3 (fallback flood)", n)
+	}
+	if st := r.Stats(); st.Flooded != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNewFloodingNeverTargets(t *testing.T) {
+	_, _, txs := rig(t)
+	r := NewFlooding()
+	for _, tx := range txs {
+		r.AddTransmitter(tx)
+	}
+	n, err := r.Send(ctrl(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("flooding replicator used %d", n)
+	}
+}
+
+func TestFramesActuallyReachMedium(t *testing.T) {
+	clock, medium, txs := rig(t)
+	got := 0
+	medium.Attach(radio.BandDownlink, &radio.Listener{
+		Name:     "sensor",
+		Position: func() geo.Point { return geo.Pt(0, 50) },
+		Radius:   1e9,
+		Deliver: func(f radio.Frame) {
+			if _, err := wire.DecodeControl(f.Data); err == nil {
+				got++
+			}
+		},
+	})
+	r := New(nil, Options{})
+	for _, tx := range txs {
+		r.AddTransmitter(tx)
+	}
+	if _, err := r.Send(ctrl(42)); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunAll()
+	// Only tx-a covers (0,50) within its 400 m range.
+	if got != 1 {
+		t.Fatalf("sensor received %d control frames, want 1", got)
+	}
+	if st := txs[0].Stats(); st.Broadcasts != 1 || st.Bytes != int64(wire.ControlSize) {
+		t.Fatalf("transmitter stats = %+v", st)
+	}
+}
+
+func TestSendRejectsUnencodableControl(t *testing.T) {
+	_, _, txs := rig(t)
+	r := New(nil, Options{})
+	r.AddTransmitter(txs[0])
+	bad := wire.ControlMessage{Target: wire.MustStreamID(1, 0), Op: 0}
+	if _, err := r.Send(bad); err == nil {
+		t.Fatal("want encode error")
+	}
+}
+
+func TestTransmitterValidation(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	medium := radio.NewMedium(clock, radio.Params{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for zero range")
+		}
+	}()
+	transmit.New(medium, transmit.Config{Position: geo.Pt(0, 0)})
+}
+
+func TestTransmitterDefaultsAndCoverage(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	medium := radio.NewMedium(clock, radio.Params{})
+	tx := transmit.New(medium, transmit.Config{Position: geo.Pt(3, 4), Range: 10})
+	if tx.Name() == "" {
+		t.Fatal("empty default name")
+	}
+	cov := tx.Coverage()
+	if cov.Center != geo.Pt(3, 4) || cov.R != 10 {
+		t.Fatalf("coverage = %+v", cov)
+	}
+}

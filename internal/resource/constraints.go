@@ -1,0 +1,160 @@
+package resource
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// Constraints codifies a sensor's operating limits — the “expressive
+// language [for the] codification of sensor constraints” the paper lists
+// as future work (§8), in the minimal form the Resource Manager needs to
+// enforce limits automatically. The zero value imposes no limits.
+type Constraints struct {
+	// MaxRateMilliHz caps any stream's sampling rate (0 = unlimited).
+	MaxRateMilliHz uint32
+	// MinRateMilliHz floors any stream's sampling rate (0 = no floor).
+	MinRateMilliHz uint32
+	// MaxPayloadBytes caps payload limits (0 = unlimited).
+	MaxPayloadBytes uint32
+	// MaxActiveStreams caps simultaneously enabled streams (0 = unlimited).
+	MaxActiveStreams int
+}
+
+// ParseConstraints parses the textual constraint language: a
+// semicolon-separated list of clauses
+//
+//	rate <= 10/s      (also /min and /h, or a bare milli-hertz integer)
+//	rate >= 6/min
+//	payload <= 1024
+//	streams <= 4
+//
+// Whitespace is insignificant. Unknown clauses or malformed values are
+// errors, so misspelled constraints fail loudly at configuration time.
+func ParseConstraints(s string) (Constraints, error) {
+	var c Constraints
+	for _, rawClause := range strings.Split(s, ";") {
+		clause := strings.TrimSpace(rawClause)
+		if clause == "" {
+			continue
+		}
+		var subject, op, value string
+		for _, candidate := range []string{"<=", ">="} {
+			if i := strings.Index(clause, candidate); i >= 0 {
+				subject = strings.TrimSpace(clause[:i])
+				op = candidate
+				value = strings.TrimSpace(clause[i+len(candidate):])
+				break
+			}
+		}
+		if op == "" {
+			return Constraints{}, fmt.Errorf("resource: clause %q: want <= or >=", clause)
+		}
+		switch subject {
+		case "rate":
+			mhz, err := parseRate(value)
+			if err != nil {
+				return Constraints{}, fmt.Errorf("resource: clause %q: %w", clause, err)
+			}
+			if op == "<=" {
+				c.MaxRateMilliHz = mhz
+			} else {
+				c.MinRateMilliHz = mhz
+			}
+		case "payload":
+			n, err := strconv.ParseUint(value, 10, 32)
+			if err != nil || n == 0 || n > wire.MaxPayload {
+				return Constraints{}, fmt.Errorf("resource: clause %q: bad payload size", clause)
+			}
+			if op != "<=" {
+				return Constraints{}, fmt.Errorf("resource: clause %q: payload supports only <=", clause)
+			}
+			c.MaxPayloadBytes = uint32(n)
+		case "streams":
+			n, err := strconv.Atoi(value)
+			if err != nil || n <= 0 || n > wire.MaxStreamIndex+1 {
+				return Constraints{}, fmt.Errorf("resource: clause %q: bad stream count", clause)
+			}
+			if op != "<=" {
+				return Constraints{}, fmt.Errorf("resource: clause %q: streams supports only <=", clause)
+			}
+			c.MaxActiveStreams = n
+		default:
+			return Constraints{}, fmt.Errorf("resource: clause %q: unknown subject %q", clause, subject)
+		}
+	}
+	if c.MaxRateMilliHz > 0 && c.MinRateMilliHz > c.MaxRateMilliHz {
+		return Constraints{}, fmt.Errorf("resource: rate floor %d exceeds cap %d", c.MinRateMilliHz, c.MaxRateMilliHz)
+	}
+	return c, nil
+}
+
+// parseRate converts "10/s", "6/min", "2/h" or a bare milli-hertz count to
+// milli-hertz.
+func parseRate(s string) (uint32, error) {
+	num, unit, hasUnit := strings.Cut(s, "/")
+	n, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad rate number %q", num)
+	}
+	if !hasUnit {
+		return uint32(n), nil // bare value: already milli-hertz
+	}
+	var mhz float64
+	switch strings.TrimSpace(unit) {
+	case "s":
+		mhz = n * 1000
+	case "min":
+		mhz = n * 1000 / 60
+	case "h":
+		mhz = n * 1000 / 3600
+	default:
+		return 0, fmt.Errorf("bad rate unit %q", unit)
+	}
+	if mhz < 1 {
+		mhz = 1
+	}
+	return uint32(mhz), nil
+}
+
+// String renders c in the constraint language.
+func (c Constraints) String() string {
+	var parts []string
+	if c.MaxRateMilliHz > 0 {
+		parts = append(parts, fmt.Sprintf("rate<=%dmHz", c.MaxRateMilliHz))
+	}
+	if c.MinRateMilliHz > 0 {
+		parts = append(parts, fmt.Sprintf("rate>=%dmHz", c.MinRateMilliHz))
+	}
+	if c.MaxPayloadBytes > 0 {
+		parts = append(parts, fmt.Sprintf("payload<=%d", c.MaxPayloadBytes))
+	}
+	if c.MaxActiveStreams > 0 {
+		parts = append(parts, fmt.Sprintf("streams<=%d", c.MaxActiveStreams))
+	}
+	if len(parts) == 0 {
+		return "unconstrained"
+	}
+	return strings.Join(parts, "; ")
+}
+
+// clamp forces a merged setting inside the constraints, returning the
+// clamped value and a human-readable reason when clamping occurred.
+func (c Constraints) clamp(class Class, v uint32) (uint32, string) {
+	switch class {
+	case ClassRate:
+		if c.MaxRateMilliHz > 0 && v > c.MaxRateMilliHz {
+			return c.MaxRateMilliHz, fmt.Sprintf("clamped to constraint rate<=%dmHz", c.MaxRateMilliHz)
+		}
+		if c.MinRateMilliHz > 0 && v < c.MinRateMilliHz {
+			return c.MinRateMilliHz, fmt.Sprintf("raised to constraint rate>=%dmHz", c.MinRateMilliHz)
+		}
+	case ClassPayload:
+		if c.MaxPayloadBytes > 0 && v > c.MaxPayloadBytes {
+			return c.MaxPayloadBytes, fmt.Sprintf("clamped to constraint payload<=%d", c.MaxPayloadBytes)
+		}
+	}
+	return v, ""
+}

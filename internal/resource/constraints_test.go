@@ -1,0 +1,103 @@
+package resource
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseConstraints(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want Constraints
+	}{
+		{"empty", "", Constraints{}},
+		{"rate per second", "rate<=10/s", Constraints{MaxRateMilliHz: 10_000}},
+		{"rate per minute", "rate>=6/min", Constraints{MinRateMilliHz: 100}},
+		{"rate per hour", "rate<=36/h", Constraints{MaxRateMilliHz: 10}},
+		{"bare millihertz", "rate<=500", Constraints{MaxRateMilliHz: 500}},
+		{"payload", "payload<=1024", Constraints{MaxPayloadBytes: 1024}},
+		{"streams", "streams<=4", Constraints{MaxActiveStreams: 4}},
+		{"combined with spaces", " rate <= 2/s ; payload <= 64 ; streams <= 8 ",
+			Constraints{MaxRateMilliHz: 2000, MaxPayloadBytes: 64, MaxActiveStreams: 8}},
+		{"trailing semicolon", "rate<=1/s;", Constraints{MaxRateMilliHz: 1000}},
+		{"sub-millihertz floors to 1", "rate<=1/h; rate>=1/h", Constraints{MaxRateMilliHz: 1, MinRateMilliHz: 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := ParseConstraints(tt.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("ParseConstraints(%q) = %+v, want %+v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseConstraintsErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"unknown subject", "power<=5"},
+		{"no operator", "rate 10"},
+		{"bad number", "rate<=abc/s"},
+		{"bad unit", "rate<=10/fortnight"},
+		{"negative rate", "rate<=-1/s"},
+		{"zero payload", "payload<=0"},
+		{"oversize payload", "payload<=99999999"},
+		{"payload floor unsupported", "payload>=10"},
+		{"streams floor unsupported", "streams>=1"},
+		{"zero streams", "streams<=0"},
+		{"too many streams", "streams<=300"},
+		{"floor above cap", "rate<=1/s; rate>=10/s"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseConstraints(tt.in); err == nil {
+				t.Errorf("ParseConstraints(%q) succeeded, want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestConstraintsString(t *testing.T) {
+	if got := (Constraints{}).String(); got != "unconstrained" {
+		t.Errorf("zero value String = %q", got)
+	}
+	c := Constraints{MaxRateMilliHz: 2000, MinRateMilliHz: 10, MaxPayloadBytes: 64, MaxActiveStreams: 2}
+	s := c.String()
+	for _, want := range []string{"rate<=2000mHz", "rate>=10mHz", "payload<=64", "streams<=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	c := Constraints{MaxRateMilliHz: 1000, MinRateMilliHz: 100, MaxPayloadBytes: 256}
+	tests := []struct {
+		name   string
+		class  Class
+		in     uint32
+		want   uint32
+		reason bool
+	}{
+		{"rate in range", ClassRate, 500, 500, false},
+		{"rate above cap", ClassRate, 5000, 1000, true},
+		{"rate below floor", ClassRate, 10, 100, true},
+		{"payload above cap", ClassPayload, 1024, 256, true},
+		{"payload ok", ClassPayload, 64, 64, false},
+		{"enable untouched", ClassEnable, 1, 1, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, reason := c.clamp(tt.class, tt.in)
+			if got != tt.want || (reason != "") != tt.reason {
+				t.Errorf("clamp(%v, %d) = %d, %q", tt.class, tt.in, got, reason)
+			}
+		})
+	}
+}

@@ -1,0 +1,584 @@
+// Package resource implements the Resource Manager of §4.2: the admission
+// controller on the return actuation path. Consumers are mutually unaware
+// and “may lead to conflicting interaction with the sensor field” (§2), so
+// every stream-update request is first submitted here: the manager keeps a
+// standing-demand ledger per (stream, demand class), merges competing
+// demands under a pluggable mediation policy, clamps the result to the
+// codified sensor constraints (the §8 constraint language), and reports
+// whether the sensor's effective configuration actually changed.
+//
+// The ledger doubles as the paper's “approximate overview of the sensors'
+// configuration” (§6): it records what the fixed network believes each
+// sensor has been told to do.
+package resource
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// Class groups the operations that compete for the same sensor setting.
+type Class int
+
+const (
+	// ClassRate competes over a stream's sampling rate (OpSetRate).
+	ClassRate Class = iota + 1
+	// ClassEnable competes over whether a stream runs (OpEnable/OpDisable).
+	ClassEnable
+	// ClassPayload competes over the stream's payload limit
+	// (OpSetPayloadLimit).
+	ClassPayload
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassRate:
+		return "rate"
+	case ClassEnable:
+		return "enable"
+	case ClassPayload:
+		return "payload"
+	default:
+		return "class(?)"
+	}
+}
+
+// ClassOf maps a wire operation to its demand class; ok is false for
+// operations that need no mediation (ping, device params).
+func ClassOf(op wire.Op) (Class, bool) {
+	switch op {
+	case wire.OpSetRate:
+		return ClassRate, true
+	case wire.OpEnableStream, wire.OpDisableStream:
+		return ClassEnable, true
+	case wire.OpSetPayloadLimit:
+		return ClassPayload, true
+	default:
+		return 0, false
+	}
+}
+
+// Demand is one consumer's standing request about one stream setting.
+type Demand struct {
+	Consumer string
+	Target   wire.StreamID
+	Op       wire.Op // OpSetRate, OpEnableStream, OpDisableStream, OpSetPayloadLimit
+	Value    uint32  // rate in mHz, or payload limit in bytes; unused for enable/disable
+	Priority int     // larger wins under PolicyPriority
+}
+
+// Policy selects how competing demands merge.
+type Policy int
+
+const (
+	// PolicyMostDemanding takes the maximum rate / enables if anyone wants
+	// the stream / largest payload limit: no consumer starves.
+	PolicyMostDemanding Policy = iota + 1
+	// PolicyLeastDemanding takes the minimum rate / disables unless
+	// everyone wants the stream / smallest payload: conserves energy.
+	PolicyLeastDemanding
+	// PolicyPriority lets the highest-priority demand win outright
+	// (ties broken towards the most demanding).
+	PolicyPriority
+	// PolicyFirstComeDeny approves the first demand and denies any
+	// conflicting later demand from another consumer.
+	PolicyFirstComeDeny
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyMostDemanding:
+		return "most-demanding"
+	case PolicyLeastDemanding:
+		return "least-demanding"
+	case PolicyPriority:
+		return "priority"
+	case PolicyFirstComeDeny:
+		return "first-come-deny"
+	default:
+		return "policy(?)"
+	}
+}
+
+// Verdict is the admission-control outcome for one submission.
+type Verdict int
+
+const (
+	// VerdictApproved means the demand was accepted as submitted.
+	VerdictApproved Verdict = iota + 1
+	// VerdictModified means the demand was accepted but the effective
+	// setting differs (mediation with other consumers, or constraint
+	// clamping).
+	VerdictModified
+	// VerdictDenied means the demand was rejected and not recorded.
+	VerdictDenied
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictApproved:
+		return "approved"
+	case VerdictModified:
+		return "modified"
+	case VerdictDenied:
+		return "denied"
+	default:
+		return "verdict(?)"
+	}
+}
+
+// Action is the concrete operation the Actuation Service should now send
+// to the sensor, present when a decision changed the effective setting.
+type Action struct {
+	Target wire.StreamID
+	Op     wire.Op
+	Value  uint32
+}
+
+// Decision is the result of Submit or Withdraw.
+type Decision struct {
+	Verdict Verdict
+	Reason  string
+	// Effective is the post-decision effective setting for the class
+	// (rate in mHz, payload bytes, or 0/1 for enable).
+	Effective uint32
+	// Changed reports whether the effective setting moved, i.e. whether an
+	// actuation is required; Action describes it.
+	Changed bool
+	Action  *Action
+}
+
+// Manager errors.
+var (
+	ErrBadDemand = errors.New("resource: invalid demand")
+	ErrConflict  = errors.New("resource: conflicting demand denied")
+	ErrForbidden = errors.New("resource: constraint forbids demand")
+)
+
+type ledgerKey struct {
+	target wire.StreamID
+	class  Class
+}
+
+type entry struct {
+	demands map[string]Demand // by consumer
+	// effective is the currently actuated setting; valid is false until
+	// the first demand arrives.
+	effective uint32
+	valid     bool
+	order     []string // consumer arrival order, for PolicyFirstComeDeny
+}
+
+// Stats is a snapshot of manager counters.
+type Stats struct {
+	Submitted   int64
+	Approved    int64
+	Modified    int64
+	Denied      int64
+	Withdrawals int64
+	Ledger      int // live (stream, class) entries
+}
+
+// Manager is the Resource Manager.
+type Manager struct {
+	mu          sync.Mutex
+	policy      Policy
+	ledger      map[ledgerKey]*entry
+	constraints map[wire.SensorID]Constraints
+	defaults    Constraints
+	hasDefaults bool
+
+	submitted metrics.Counter
+	approved  metrics.Counter
+	modified  metrics.Counter
+	denied    metrics.Counter
+	withdrawn metrics.Counter
+}
+
+// NewManager creates a Manager with the given mediation policy
+// (PolicyMostDemanding when zero).
+func NewManager(policy Policy) *Manager {
+	if policy == 0 {
+		policy = PolicyMostDemanding
+	}
+	return &Manager{
+		policy:      policy,
+		ledger:      make(map[ledgerKey]*entry),
+		constraints: make(map[wire.SensorID]Constraints),
+	}
+}
+
+// Policy returns the current mediation policy.
+func (m *Manager) Policy() Policy {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.policy
+}
+
+// SetPolicy switches the mediation policy at runtime — the hook the Super
+// Coordinator uses to “invoke policy changes in the strategy used by the
+// Resource Manager” (§4.2). Existing effective settings are not recomputed
+// until the next submission touches them.
+func (m *Manager) SetPolicy(p Policy) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.policy = p
+}
+
+// SetDefaultConstraints applies c to every sensor without specific
+// constraints.
+func (m *Manager) SetDefaultConstraints(c Constraints) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.defaults = c
+	m.hasDefaults = true
+}
+
+// SetConstraints codifies the limits of one sensor.
+func (m *Manager) SetConstraints(sensor wire.SensorID, c Constraints) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.constraints[sensor] = c
+}
+
+func (m *Manager) constraintsFor(sensor wire.SensorID) (Constraints, bool) {
+	if c, ok := m.constraints[sensor]; ok {
+		return c, true
+	}
+	if m.hasDefaults {
+		return m.defaults, true
+	}
+	return Constraints{}, false
+}
+
+// Submit runs admission control for one demand. Approved and modified
+// demands join the standing ledger; the decision reports the effective
+// setting and whether actuation is needed.
+func (m *Manager) Submit(d Demand) (Decision, error) {
+	if d.Consumer == "" {
+		return Decision{}, fmt.Errorf("%w: empty consumer", ErrBadDemand)
+	}
+	class, ok := ClassOf(d.Op)
+	if !ok {
+		return Decision{}, fmt.Errorf("%w: op %v needs no mediation", ErrBadDemand, d.Op)
+	}
+	if class == ClassRate && d.Value == 0 {
+		return Decision{}, fmt.Errorf("%w: zero rate", ErrBadDemand)
+	}
+	if class == ClassPayload && (d.Value == 0 || d.Value > wire.MaxPayload) {
+		return Decision{}, fmt.Errorf("%w: payload limit %d", ErrBadDemand, d.Value)
+	}
+	m.submitted.Inc()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// Hard constraint screening that cannot be satisfied by clamping.
+	cons, hasCons := m.constraintsFor(d.Target.Sensor())
+	if hasCons {
+		if class == ClassEnable && d.Op == wire.OpEnableStream && cons.MaxActiveStreams > 0 {
+			if active := m.activeStreamsLocked(d.Target.Sensor(), d.Target); active >= cons.MaxActiveStreams {
+				m.denied.Inc()
+				return Decision{
+					Verdict: VerdictDenied,
+					Reason:  fmt.Sprintf("sensor constraint streams<=%d", cons.MaxActiveStreams),
+				}, nil
+			}
+		}
+	}
+
+	key := ledgerKey{target: d.Target, class: class}
+	e, exists := m.ledger[key]
+	if !exists {
+		e = &entry{demands: make(map[string]Demand)}
+		m.ledger[key] = e
+	}
+
+	if m.policy == PolicyFirstComeDeny {
+		for owner, other := range e.demands {
+			if owner != d.Consumer && conflicts(class, other, d) {
+				m.denied.Inc()
+				return Decision{
+					Verdict: VerdictDenied,
+					Reason: fmt.Sprintf("conflicts with standing demand of %q (%s)",
+						owner, describeDemand(class, other)),
+				}, nil
+			}
+		}
+	}
+
+	if _, had := e.demands[d.Consumer]; !had {
+		e.order = append(e.order, d.Consumer)
+	}
+	e.demands[d.Consumer] = d
+
+	return m.decideLocked(key, e, &d, cons, hasCons), nil
+}
+
+// Withdraw removes one consumer's standing demand on a (target, class) and
+// recomputes the effective setting. It reports the new decision (Changed
+// set if actuation is needed to relax the sensor) and whether a demand was
+// present. When the last demand goes away the entry is removed and no
+// relaxation is actuated — the sensor keeps its last setting, matching the
+// paper's minimal-sensor model (no implicit defaults on the device).
+func (m *Manager) Withdraw(consumer string, target wire.StreamID, class Class) (Decision, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := ledgerKey{target: target, class: class}
+	e, ok := m.ledger[key]
+	if !ok {
+		return Decision{}, false
+	}
+	if _, had := e.demands[consumer]; !had {
+		return Decision{}, false
+	}
+	delete(e.demands, consumer)
+	for i, name := range e.order {
+		if name == consumer {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+	m.withdrawn.Inc()
+	if len(e.demands) == 0 {
+		delete(m.ledger, key)
+		return Decision{Verdict: VerdictApproved, Effective: e.effective}, true
+	}
+	cons, hasCons := m.constraintsFor(target.Sensor())
+	return m.decideLocked(key, e, nil, cons, hasCons), true
+}
+
+// WithdrawAll removes every standing demand of a consumer (a consumer
+// leaving the system) and returns the actions needed to re-actuate the
+// affected streams.
+func (m *Manager) WithdrawAll(consumer string) []Action {
+	m.mu.Lock()
+	keys := make([]ledgerKey, 0)
+	for key, e := range m.ledger {
+		if _, ok := e.demands[consumer]; ok {
+			keys = append(keys, key)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].target != keys[j].target {
+			return keys[i].target < keys[j].target
+		}
+		return keys[i].class < keys[j].class
+	})
+	var actions []Action
+	for _, key := range keys {
+		if dec, ok := m.Withdraw(consumer, key.target, key.class); ok && dec.Changed && dec.Action != nil {
+			actions = append(actions, *dec.Action)
+		}
+	}
+	return actions
+}
+
+// decideLocked merges the entry's demands under the current policy, clamps
+// to constraints, updates the effective setting, and builds the Decision.
+// submitted is the demand that triggered the decision (nil for
+// withdrawals).
+func (m *Manager) decideLocked(key ledgerKey, e *entry, submitted *Demand, cons Constraints, hasCons bool) Decision {
+	merged := m.mergeLocked(key.class, e)
+	clamped, clampReason := merged, ""
+	if hasCons {
+		clamped, clampReason = cons.clamp(key.class, merged)
+	}
+
+	changed := !e.valid || clamped != e.effective
+	e.effective = clamped
+	e.valid = true
+
+	dec := Decision{Effective: clamped, Changed: changed}
+	if changed {
+		dec.Action = &Action{Target: key.target, Value: clamped}
+		switch key.class {
+		case ClassRate:
+			dec.Action.Op = wire.OpSetRate
+		case ClassEnable:
+			if clamped != 0 {
+				dec.Action.Op = wire.OpEnableStream
+			} else {
+				dec.Action.Op = wire.OpDisableStream
+			}
+			dec.Action.Value = 0
+		case ClassPayload:
+			dec.Action.Op = wire.OpSetPayloadLimit
+		}
+	}
+
+	switch {
+	case submitted == nil:
+		dec.Verdict = VerdictApproved
+	case demandSatisfied(key.class, *submitted, clamped):
+		dec.Verdict = VerdictApproved
+		m.approved.Inc()
+	default:
+		dec.Verdict = VerdictModified
+		dec.Reason = fmt.Sprintf("mediated under %v policy", m.policy)
+		if clampReason != "" {
+			dec.Reason = clampReason
+		}
+		m.modified.Inc()
+	}
+	return dec
+}
+
+func demandSatisfied(class Class, d Demand, effective uint32) bool {
+	switch class {
+	case ClassEnable:
+		want := uint32(0)
+		if d.Op == wire.OpEnableStream {
+			want = 1
+		}
+		return effective == want
+	default:
+		return effective == d.Value
+	}
+}
+
+// mergeLocked folds the demands of one entry into a single value under the
+// current policy (rate mHz / payload bytes / 0-1 for enable).
+func (m *Manager) mergeLocked(class Class, e *entry) uint32 {
+	values := make([]uint32, 0, len(e.demands))
+	prios := make([]int, 0, len(e.demands))
+	for _, name := range e.order {
+		d := e.demands[name]
+		values = append(values, demandValue(class, d))
+		prios = append(prios, d.Priority)
+	}
+	switch m.policy {
+	case PolicyLeastDemanding:
+		v := values[0]
+		for _, x := range values[1:] {
+			if x < v {
+				v = x
+			}
+		}
+		return v
+	case PolicyPriority:
+		best, bestPrio := values[0], prios[0]
+		for i := 1; i < len(values); i++ {
+			if prios[i] > bestPrio || (prios[i] == bestPrio && values[i] > best) {
+				best, bestPrio = values[i], prios[i]
+			}
+		}
+		return best
+	case PolicyFirstComeDeny:
+		// Conflicts were denied on entry; all demands agree (or are from
+		// the same consumer, whose latest value stands).
+		return values[len(values)-1]
+	default: // PolicyMostDemanding
+		v := values[0]
+		for _, x := range values[1:] {
+			if x > v {
+				v = x
+			}
+		}
+		return v
+	}
+}
+
+func demandValue(class Class, d Demand) uint32 {
+	if class == ClassEnable {
+		if d.Op == wire.OpEnableStream {
+			return 1
+		}
+		return 0
+	}
+	return d.Value
+}
+
+func conflicts(class Class, a, b Demand) bool {
+	return demandValue(class, a) != demandValue(class, b)
+}
+
+func describeDemand(class Class, d Demand) string {
+	switch class {
+	case ClassEnable:
+		return d.Op.String()
+	default:
+		return fmt.Sprintf("%v=%d", d.Op, d.Value)
+	}
+}
+
+// activeStreamsLocked counts streams of a sensor whose effective enable
+// setting is on, excluding `except`.
+func (m *Manager) activeStreamsLocked(sensor wire.SensorID, except wire.StreamID) int {
+	n := 0
+	for key, e := range m.ledger {
+		if key.class == ClassEnable && key.target.Sensor() == sensor &&
+			key.target != except && e.valid && e.effective == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Effective returns the current effective setting for (target, class).
+func (m *Manager) Effective(target wire.StreamID, class Class) (uint32, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.ledger[ledgerKey{target: target, class: class}]
+	if !ok || !e.valid {
+		return 0, false
+	}
+	return e.effective, true
+}
+
+// StreamOverview is the manager's belief about one stream's configuration.
+type StreamOverview struct {
+	Target   wire.StreamID
+	Class    Class
+	Demands  int
+	Setting  uint32
+	Policies Policy
+}
+
+// Overview returns the approximate sensor-configuration overview: every
+// ledger entry with its effective setting, sorted by stream then class.
+func (m *Manager) Overview() []StreamOverview {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]StreamOverview, 0, len(m.ledger))
+	for key, e := range m.ledger {
+		out = append(out, StreamOverview{
+			Target:   key.target,
+			Class:    key.class,
+			Demands:  len(e.demands),
+			Setting:  e.effective,
+			Policies: m.policy,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Target != out[j].Target {
+			return out[i].Target < out[j].Target
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}
+
+// Stats returns a snapshot of manager counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	ledger := len(m.ledger)
+	m.mu.Unlock()
+	return Stats{
+		Submitted:   m.submitted.Value(),
+		Approved:    m.approved.Value(),
+		Modified:    m.modified.Value(),
+		Denied:      m.denied.Value(),
+		Withdrawals: m.withdrawn.Value(),
+		Ledger:      ledger,
+	}
+}

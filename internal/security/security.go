@@ -1,0 +1,169 @@
+// Package security implements Garnet's end-to-end payload protection. The
+// payload field “is not interpreted and is opaque to the Garnet
+// infrastructure. This provides a basic level of security and contributes
+// to our security model” (§4.3); §9 lists “a high-level abstraction of
+// data streams supporting end-to-end encryption” among the novel features.
+//
+// Sensors seal payloads with a per-stream key (AES-CTR with an
+// encrypt-then-MAC HMAC-SHA256 tag); only consumers holding the key can
+// open them. The middleware forwards sealed payloads untouched — tests
+// assert that filtering, dispatching and the orphanage work identically on
+// sealed streams, demonstrating opacity rather than asserting it.
+//
+// The CTR nonce is derived from (StreamID, Seq), which is unique per key
+// for up to 2^16 messages per stream; deployments must rotate keys before
+// a stream's sequence space wraps.
+package security
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/sensor"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// Overhead is the sealing overhead in bytes (the truncated MAC).
+const Overhead = 16
+
+// Package errors.
+var (
+	ErrKeySize = errors.New("security: key must be 16, 24 or 32 bytes")
+	ErrAuth    = errors.New("security: payload authentication failed")
+	ErrNoKey   = errors.New("security: no key for stream")
+)
+
+func checkKey(key []byte) error {
+	switch len(key) {
+	case 16, 24, 32:
+		return nil
+	default:
+		return fmt.Errorf("%w: got %d", ErrKeySize, len(key))
+	}
+}
+
+// nonce builds the 16-byte CTR IV from the stream identity and sequence.
+func nonce(stream wire.StreamID, seq wire.Seq) [aes.BlockSize]byte {
+	var iv [aes.BlockSize]byte
+	binary.BigEndian.PutUint32(iv[0:], uint32(stream))
+	binary.BigEndian.PutUint16(iv[4:], uint16(seq))
+	return iv
+}
+
+// Seal encrypts and authenticates plaintext for one message of a stream.
+// The output is ciphertext || 16-byte MAC and is Overhead bytes longer
+// than the input.
+func Seal(key []byte, stream wire.StreamID, seq wire.Seq, plaintext []byte) ([]byte, error) {
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("security: %w", err)
+	}
+	iv := nonce(stream, seq)
+	out := make([]byte, len(plaintext)+Overhead)
+	cipher.NewCTR(block, iv[:]).XORKeyStream(out, plaintext)
+	mac := computeMAC(key, iv, out[:len(plaintext)])
+	copy(out[len(plaintext):], mac)
+	return out, nil
+}
+
+// Open authenticates and decrypts a payload produced by Seal with the
+// same key, stream and sequence. It returns ErrAuth when the payload was
+// tampered with, truncated, or sealed under different parameters.
+func Open(key []byte, stream wire.StreamID, seq wire.Seq, sealed []byte) ([]byte, error) {
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	if len(sealed) < Overhead {
+		return nil, fmt.Errorf("%w: %d bytes", ErrAuth, len(sealed))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("security: %w", err)
+	}
+	iv := nonce(stream, seq)
+	ct := sealed[:len(sealed)-Overhead]
+	want := sealed[len(sealed)-Overhead:]
+	if !hmac.Equal(want, computeMAC(key, iv, ct)) {
+		return nil, ErrAuth
+	}
+	out := make([]byte, len(ct))
+	cipher.NewCTR(block, iv[:]).XORKeyStream(out, ct)
+	return out, nil
+}
+
+// computeMAC returns the truncated encrypt-then-MAC tag over IV and
+// ciphertext.
+func computeMAC(key []byte, iv [aes.BlockSize]byte, ciphertext []byte) []byte {
+	h := hmac.New(sha256.New, key)
+	h.Write(iv[:])
+	h.Write(ciphertext)
+	return h.Sum(nil)[:Overhead]
+}
+
+// KeyStore maps streams to their end-to-end keys on the consumer side.
+// The zero value is not usable; create with NewKeyStore.
+type KeyStore struct {
+	mu   sync.Mutex
+	keys map[wire.StreamID][]byte
+}
+
+// NewKeyStore creates an empty KeyStore.
+func NewKeyStore() *KeyStore {
+	return &KeyStore{keys: make(map[wire.StreamID][]byte)}
+}
+
+// SetKey installs the key for a stream (copied).
+func (k *KeyStore) SetKey(stream wire.StreamID, key []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	cp := make([]byte, len(key))
+	copy(cp, key)
+	k.mu.Lock()
+	k.keys[stream] = cp
+	k.mu.Unlock()
+	return nil
+}
+
+// RemoveKey forgets a stream's key.
+func (k *KeyStore) RemoveKey(stream wire.StreamID) {
+	k.mu.Lock()
+	delete(k.keys, stream)
+	k.mu.Unlock()
+}
+
+// OpenMessage opens the payload of a sealed data message using the
+// stream's installed key.
+func (k *KeyStore) OpenMessage(m wire.Message) ([]byte, error) {
+	k.mu.Lock()
+	key, ok := k.keys[m.Stream]
+	k.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoKey, m.Stream)
+	}
+	return Open(key, m.Stream, m.Seq, m.Payload)
+}
+
+// EncryptingSampler wraps a sensor sampler so every payload is sealed for
+// the given stream before transmission — the sensor-side half of the
+// end-to-end channel. Sealing failures yield an empty payload rather than
+// leaking plaintext.
+func EncryptingSampler(key []byte, stream wire.StreamID, inner sensor.Sampler) sensor.Sampler {
+	return func(now time.Time, seq wire.Seq) []byte {
+		sealed, err := Seal(key, stream, seq, inner(now, seq))
+		if err != nil {
+			return nil
+		}
+		return sealed
+	}
+}

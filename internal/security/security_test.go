@@ -1,0 +1,213 @@
+package security
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/sensor"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+var (
+	key16  = bytes.Repeat([]byte{0x11}, 16)
+	key32  = bytes.Repeat([]byte{0x22}, 32)
+	stream = wire.MustStreamID(42, 3)
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	for _, key := range [][]byte{key16, bytes.Repeat([]byte{9}, 24), key32} {
+		sealed, err := Seal(key, stream, 7, []byte("secret reading"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sealed) != len("secret reading")+Overhead {
+			t.Fatalf("sealed length = %d", len(sealed))
+		}
+		got, err := Open(key, stream, 7, sealed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "secret reading" {
+			t.Fatalf("opened = %q", got)
+		}
+	}
+}
+
+func TestSealedPayloadNotPlaintext(t *testing.T) {
+	plain := []byte("water level 4.2m")
+	sealed, err := Seal(key16, stream, 0, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, plain) {
+		t.Fatal("plaintext visible in sealed payload")
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	sealed, err := Seal(key16, stream, 1, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(sealed); pos++ {
+		bad := bytes.Clone(sealed)
+		bad[pos] ^= 0x01
+		if _, err := Open(key16, stream, 1, bad); !errors.Is(err, ErrAuth) {
+			t.Fatalf("tampered byte %d accepted: %v", pos, err)
+		}
+	}
+}
+
+func TestOpenRejectsWrongContext(t *testing.T) {
+	sealed, err := Seal(key16, stream, 1, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		key    []byte
+		stream wire.StreamID
+		seq    wire.Seq
+	}{
+		{"wrong key", key32, stream, 1},
+		{"wrong stream", key16, wire.MustStreamID(42, 4), 1},
+		{"wrong seq", key16, stream, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Open(tt.key, tt.stream, tt.seq, sealed); !errors.Is(err, ErrAuth) {
+				t.Errorf("err = %v, want ErrAuth", err)
+			}
+		})
+	}
+}
+
+func TestOpenRejectsTruncated(t *testing.T) {
+	if _, err := Open(key16, stream, 0, make([]byte, Overhead-1)); !errors.Is(err, ErrAuth) {
+		t.Fatalf("err = %v, want ErrAuth", err)
+	}
+}
+
+func TestBadKeySizes(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 33} {
+		if _, err := Seal(make([]byte, n), stream, 0, nil); !errors.Is(err, ErrKeySize) {
+			t.Errorf("Seal with %d-byte key: %v", n, err)
+		}
+		if _, err := Open(make([]byte, n), stream, 0, make([]byte, Overhead)); !errors.Is(err, ErrKeySize) {
+			t.Errorf("Open with %d-byte key: %v", n, err)
+		}
+	}
+}
+
+func TestEmptyPlaintext(t *testing.T) {
+	sealed, err := Seal(key16, stream, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(key16, stream, 0, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("opened %d bytes", len(got))
+	}
+}
+
+func TestDistinctSeqsDistinctCiphertexts(t *testing.T) {
+	a, err := Seal(key16, stream, 1, []byte("same"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Seal(key16, stream, 2, []byte("same"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a[:4], b[:4]) && bytes.Equal(a, b) {
+		t.Fatal("identical ciphertexts for different sequences")
+	}
+}
+
+// Property: Seal→Open is the identity for random payloads and contexts.
+func TestSealOpenProperty(t *testing.T) {
+	f := func(sensorID uint32, index uint8, seq uint16, payload []byte) bool {
+		id := wire.MustStreamID(wire.SensorID(sensorID)&wire.MaxSensorID, wire.StreamIndex(index))
+		sealed, err := Seal(key32, id, wire.Seq(seq), payload)
+		if err != nil {
+			return false
+		}
+		got, err := Open(key32, id, wire.Seq(seq), sealed)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyStore(t *testing.T) {
+	ks := NewKeyStore()
+	if err := ks.SetKey(stream, key16); err != nil {
+		t.Fatal(err)
+	}
+	if err := ks.SetKey(stream, []byte("short")); !errors.Is(err, ErrKeySize) {
+		t.Fatalf("bad key accepted: %v", err)
+	}
+	sealed, err := Seal(key16, stream, 5, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := wire.Message{Stream: stream, Seq: 5, Payload: sealed, Flags: wire.FlagEncrypted}
+	got, err := ks.OpenMessage(msg)
+	if err != nil || string(got) != "x" {
+		t.Fatalf("OpenMessage = %q, %v", got, err)
+	}
+	ks.RemoveKey(stream)
+	if _, err := ks.OpenMessage(msg); !errors.Is(err, ErrNoKey) {
+		t.Fatalf("err = %v, want ErrNoKey", err)
+	}
+}
+
+func TestKeyStoreCopiesKey(t *testing.T) {
+	ks := NewKeyStore()
+	key := bytes.Clone(key16)
+	if err := ks.SetKey(stream, key); err != nil {
+		t.Fatal(err)
+	}
+	key[0] ^= 0xFF // caller clobbers its buffer
+	sealed, err := Seal(key16, stream, 0, []byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ks.OpenMessage(wire.Message{Stream: stream, Seq: 0, Payload: sealed}); err != nil {
+		t.Fatal("key store aliased the caller's key")
+	}
+}
+
+func TestEncryptingSampler(t *testing.T) {
+	epoch := time.Date(2003, 5, 19, 0, 0, 0, 0, time.UTC)
+	inner := sensor.FloatSampler(func(time.Time) float64 { return 21.5 })
+	s := EncryptingSampler(key16, stream, inner)
+	sealed := s(epoch, 9)
+	plain, err := Open(key16, stream, 9, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, ok := sensor.DecodeReading(plain)
+	if !ok || v != 21.5 {
+		t.Fatalf("decoded %v %v", v, ok)
+	}
+	// Wrong seq must not open: the sampler binds to the sequence.
+	if _, err := Open(key16, stream, 10, sealed); !errors.Is(err, ErrAuth) {
+		t.Fatalf("wrong-seq open: %v", err)
+	}
+}
+
+func TestEncryptingSamplerBadKeyYieldsEmpty(t *testing.T) {
+	epoch := time.Date(2003, 5, 19, 0, 0, 0, 0, time.UTC)
+	s := EncryptingSampler([]byte("bad"), stream, sensor.ConstantSampler([]byte("p")))
+	if got := s(epoch, 0); got != nil {
+		t.Fatalf("bad key should yield nil payload, got %d bytes", len(got))
+	}
+}

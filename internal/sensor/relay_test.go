@@ -1,0 +1,294 @@
+package sensor
+
+import (
+	"testing"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/field"
+	"github.com/garnet-middleware/garnet/internal/geo"
+	"github.com/garnet-middleware/garnet/internal/radio"
+	"github.com/garnet-middleware/garnet/internal/sim"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// relayRig: a source sensor at x=0 with tx range 100, a receiver tap at
+// x=250 with a tight 60 m zone — out of the source's direct reach — and
+// an optional relay node at x=150 bridging the gap.
+func relayRig(t *testing.T, withRelay bool) (*sim.VirtualClock, *radio.Medium, *uplinkTap, *Node) {
+	t.Helper()
+	clock := sim.NewVirtualClock(epoch)
+	medium := radio.NewMedium(clock, radio.Params{})
+	tap := &uplinkTap{}
+	medium.Attach(radio.BandUplink, &radio.Listener{
+		Name:     "rx",
+		Position: func() geo.Point { return geo.Pt(250, 0) },
+		Radius:   120,
+		Deliver: func(f radio.Frame) {
+			msg, _, err := wire.DecodeMessage(f.Data)
+			if err != nil {
+				return
+			}
+			tap.mu.Lock()
+			tap.msgs = append(tap.msgs, msg)
+			tap.mu.Unlock()
+		},
+	})
+
+	source, err := New(clock, medium, Config{
+		ID:       1,
+		Mobility: field.Static{P: geo.Pt(0, 0)},
+		TxRange:  160,
+		Streams: []StreamConfig{{
+			Index: 0, Sampler: ConstantSampler([]byte("far")), Period: time.Second, Enabled: true,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	source.Start()
+	t.Cleanup(source.Stop)
+
+	var relay *Node
+	if withRelay {
+		relay, err = New(clock, medium, Config{
+			ID:       99,
+			Mobility: field.Static{P: geo.Pt(150, 0)},
+			TxRange:  160,
+			Relay:    RelayConfig{Enabled: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		relay.Start()
+		t.Cleanup(relay.Stop)
+	}
+	return clock, medium, tap, relay
+}
+
+func TestRelayExtendsCoverage(t *testing.T) {
+	// Without a relay the receiver hears nothing.
+	clock, _, tap, _ := relayRig(t, false)
+	clock.Advance(5 * time.Second)
+	if got := len(tap.all()); got != 0 {
+		t.Fatalf("receiver heard %d frames without a relay", got)
+	}
+
+	// With the relay, every message arrives, tagged as relayed.
+	clock, _, tap, relay := relayRig(t, true)
+	clock.Advance(5 * time.Second)
+	msgs := tap.all()
+	if len(msgs) != 5 {
+		t.Fatalf("receiver heard %d frames via relay, want 5", len(msgs))
+	}
+	for _, m := range msgs {
+		if !m.Flags.Has(wire.FlagRelayed) {
+			t.Fatal("relayed frame missing FlagRelayed")
+		}
+		if m.HopCount != 1 {
+			t.Fatalf("hop count = %d, want 1", m.HopCount)
+		}
+		if m.Stream != wire.MustStreamID(1, 0) || string(m.Payload) != "far" {
+			t.Fatalf("relayed content mangled: %+v", m)
+		}
+	}
+	if st := relay.Stats(); st.FramesRelayed != 5 {
+		t.Fatalf("relay stats = %+v", st)
+	}
+}
+
+func TestRelayNeverRelaysOwnTraffic(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	medium := radio.NewMedium(clock, radio.Params{})
+	// A relaying node that also samples: it must not relay itself.
+	n, err := New(clock, medium, Config{
+		ID:       5,
+		Mobility: field.Static{P: geo.Pt(0, 0)},
+		TxRange:  100,
+		Relay:    RelayConfig{Enabled: true},
+		Streams: []StreamConfig{{
+			Index: 0, Sampler: ConstantSampler([]byte("own")), Period: time.Second, Enabled: true,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	defer n.Stop()
+	clock.Advance(10 * time.Second)
+	if st := n.Stats(); st.FramesRelayed != 0 {
+		t.Fatalf("node relayed its own traffic %d times", st.FramesRelayed)
+	}
+}
+
+func TestRelaySeenCacheStopsStorms(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	medium := radio.NewMedium(clock, radio.Params{})
+	// Two relays in range of each other and of the source.
+	mk := func(id wire.SensorID, x float64) *Node {
+		n, err := New(clock, medium, Config{
+			ID:       id,
+			Mobility: field.Static{P: geo.Pt(x, 0)},
+			TxRange:  1000,
+			Relay:    RelayConfig{Enabled: true, MaxHops: 10},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Start()
+		t.Cleanup(n.Stop)
+		return n
+	}
+	r1 := mk(101, 10)
+	r2 := mk(102, 20)
+
+	source, err := New(clock, medium, Config{
+		ID:       1,
+		Mobility: field.Static{P: geo.Pt(0, 0)},
+		TxRange:  1000,
+		Streams: []StreamConfig{{
+			Index: 0, Sampler: ConstantSampler([]byte("x")), Period: time.Second, Enabled: true,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	source.Start()
+	defer source.Stop()
+
+	clock.Advance(3 * time.Second)
+	// Each relay forwards each original exactly once; echoes are deduped.
+	if st := r1.Stats(); st.FramesRelayed != 3 || st.RelayDropsSeen == 0 {
+		t.Fatalf("r1 stats = %+v", st)
+	}
+	if st := r2.Stats(); st.FramesRelayed != 3 {
+		t.Fatalf("r2 stats = %+v", st)
+	}
+}
+
+func TestRelayHopLimit(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	medium := radio.NewMedium(clock, radio.Params{})
+	// A chain: source — r1 — r2, where r2 only hears r1 (not the source),
+	// and MaxHops = 1, so r2 must refuse the second hop.
+	source, err := New(clock, medium, Config{
+		ID:       1,
+		Mobility: field.Static{P: geo.Pt(0, 0)},
+		TxRange:  120,
+		Streams: []StreamConfig{{
+			Index: 0, Sampler: ConstantSampler([]byte("x")), Period: time.Second, Enabled: true,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkRelay := func(id wire.SensorID, x float64) *Node {
+		n, err := New(clock, medium, Config{
+			ID:       id,
+			Mobility: field.Static{P: geo.Pt(x, 0)},
+			TxRange:  120,
+			Relay:    RelayConfig{Enabled: true, MaxHops: 1, ListenRadius: 120},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Start()
+		t.Cleanup(n.Stop)
+		return n
+	}
+	r1 := mkRelay(101, 100)
+	r2 := mkRelay(102, 200)
+	source.Start()
+	defer source.Stop()
+
+	clock.Advance(3 * time.Second)
+	if st := r1.Stats(); st.FramesRelayed != 3 {
+		t.Fatalf("r1 relayed %d, want 3", st.FramesRelayed)
+	}
+	st := r2.Stats()
+	if st.FramesRelayed != 0 {
+		t.Fatalf("r2 relayed %d beyond the hop limit", st.FramesRelayed)
+	}
+	if st.RelayDropsHops != 3 {
+		t.Fatalf("r2 hop drops = %d, want 3", st.RelayDropsHops)
+	}
+}
+
+func TestRelayEnergyAccounting(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	medium := radio.NewMedium(clock, radio.Params{})
+	relay, err := New(clock, medium, Config{
+		ID:       9,
+		Mobility: field.Static{P: geo.Pt(10, 0)},
+		TxRange:  100,
+		Relay:    RelayConfig{Enabled: true},
+		Energy:   EnergyParams{TxBase: 1, RxPerByte: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay.Start()
+	defer relay.Stop()
+
+	frame, err := (&wire.Message{Stream: wire.MustStreamID(1, 0), Seq: 0}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	medium.Broadcast(radio.BandUplink, geo.Pt(0, 0), 100, frame)
+	clock.RunAll()
+
+	st := relay.Stats()
+	if st.FramesRelayed != 1 {
+		t.Fatalf("relayed = %d", st.FramesRelayed)
+	}
+	// rx: 11 bytes original × 0.1 (+ its own echo 12 bytes × 0.1) and
+	// tx: base 1. The relayed frame grows by the 1-byte hop extension.
+	wantMin := 11*0.1 + 1
+	if st.EnergyUsed < wantMin {
+		t.Fatalf("energy = %v, want ≥ %v", st.EnergyUsed, wantMin)
+	}
+}
+
+func TestRelayedDuplicateStillFiltered(t *testing.T) {
+	// When the receiver hears both the direct copy and the relayed copy,
+	// the duplicate filter must keep exactly one.
+	clock := sim.NewVirtualClock(epoch)
+	medium := radio.NewMedium(clock, radio.Params{})
+	tap := &uplinkTap{}
+	tap.attach(medium) // wide-open tap hears everything
+
+	source, err := New(clock, medium, Config{
+		ID:       1,
+		Mobility: field.Static{P: geo.Pt(0, 0)},
+		TxRange:  1000,
+		Streams: []StreamConfig{{
+			Index: 0, Sampler: ConstantSampler([]byte("x")), Period: time.Second, Enabled: true,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay, err := New(clock, medium, Config{
+		ID:       2,
+		Mobility: field.Static{P: geo.Pt(10, 0)},
+		TxRange:  1000,
+		Relay:    RelayConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	source.Start()
+	relay.Start()
+	defer source.Stop()
+	defer relay.Stop()
+	clock.Advance(time.Second)
+
+	msgs := tap.all()
+	if len(msgs) != 2 { // direct + relayed copy
+		t.Fatalf("tap heard %d frames, want 2", len(msgs))
+	}
+	// Same (stream, seq): downstream dedup treats the relayed copy as a
+	// duplicate of the direct one.
+	if msgs[0].Stream != msgs[1].Stream || msgs[0].Seq != msgs[1].Seq {
+		t.Fatalf("copies differ in identity: %+v vs %+v", msgs[0], msgs[1])
+	}
+}

@@ -1,0 +1,58 @@
+package sensor
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// This file provides payload conventions used by the examples and the
+// experiment harness. Payloads remain opaque to the middleware (§4.3); the
+// encoding here is an application-level agreement between producers and
+// the consumers that subscribe to them.
+
+// ConstantSampler returns a Sampler that always produces the same payload.
+func ConstantSampler(payload []byte) Sampler {
+	return func(time.Time, wire.Seq) []byte { return payload }
+}
+
+// SizedSampler returns a Sampler producing a zeroed payload of n bytes,
+// useful for throughput and energy experiments where content is
+// irrelevant.
+func SizedSampler(n int) Sampler {
+	buf := make([]byte, n)
+	return func(time.Time, wire.Seq) []byte { return buf }
+}
+
+// FloatSampler returns a Sampler that encodes f(now) as a scalar reading
+// (see EncodeReading).
+func FloatSampler(f func(now time.Time) float64) Sampler {
+	return func(now time.Time, _ wire.Seq) []byte {
+		return EncodeReading(f(now), now)
+	}
+}
+
+// ReadingSize is the encoded size of a scalar reading payload.
+const ReadingSize = 16
+
+// EncodeReading encodes a scalar measurement and its sample time into the
+// 16-byte reading payload convention: IEEE-754 value, then the sample time
+// in microseconds since the Unix epoch, both big-endian.
+func EncodeReading(value float64, at time.Time) []byte {
+	buf := make([]byte, ReadingSize)
+	binary.BigEndian.PutUint64(buf[0:8], math.Float64bits(value))
+	binary.BigEndian.PutUint64(buf[8:16], uint64(at.UnixMicro()))
+	return buf
+}
+
+// DecodeReading decodes a payload produced by EncodeReading.
+func DecodeReading(payload []byte) (value float64, at time.Time, ok bool) {
+	if len(payload) < ReadingSize {
+		return 0, time.Time{}, false
+	}
+	value = math.Float64frombits(binary.BigEndian.Uint64(payload[0:8]))
+	at = time.UnixMicro(int64(binary.BigEndian.Uint64(payload[8:16]))).UTC()
+	return value, at, true
+}

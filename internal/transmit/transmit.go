@@ -1,0 +1,67 @@
+// Package transmit implements the transmitter array of §4.2: the fixed
+// network elements that broadcast approved, replicated control messages
+// into the wireless downlink, “whereupon [they] may be received by the
+// sensor node”.
+package transmit
+
+import (
+	"fmt"
+
+	"github.com/garnet-middleware/garnet/internal/geo"
+	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/radio"
+)
+
+// Config configures a Transmitter.
+type Config struct {
+	Name     string
+	Position geo.Point
+	Range    float64 // broadcast range, metres
+}
+
+// Transmitter broadcasts control frames over the downlink band.
+type Transmitter struct {
+	cfg    Config
+	medium *radio.Medium
+
+	broadcasts metrics.Counter
+	bytes      metrics.Counter
+}
+
+// Stats is a snapshot of a transmitter's counters.
+type Stats struct {
+	Broadcasts int64
+	Bytes      int64
+}
+
+// New creates a Transmitter. New panics on a non-positive range (a
+// configuration programming error).
+func New(medium *radio.Medium, cfg Config) *Transmitter {
+	if cfg.Range <= 0 {
+		panic("transmit: range must be positive")
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("tx@%s", cfg.Position)
+	}
+	return &Transmitter{cfg: cfg, medium: medium}
+}
+
+// Name returns the transmitter's name.
+func (t *Transmitter) Name() string { return t.cfg.Name }
+
+// Coverage returns the area this transmitter can reach.
+func (t *Transmitter) Coverage() geo.Circle {
+	return geo.Circle{Center: t.cfg.Position, R: t.cfg.Range}
+}
+
+// Broadcast sends one frame into the downlink.
+func (t *Transmitter) Broadcast(frame []byte) {
+	t.broadcasts.Inc()
+	t.bytes.Add(int64(len(frame)))
+	t.medium.Broadcast(radio.BandDownlink, t.cfg.Position, t.cfg.Range, frame)
+}
+
+// Stats returns a snapshot of the transmitter's counters.
+func (t *Transmitter) Stats() Stats {
+	return Stats{Broadcasts: t.broadcasts.Value(), Bytes: t.bytes.Value()}
+}

@@ -1,0 +1,96 @@
+package transmit
+
+import (
+	"testing"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/geo"
+	"github.com/garnet-middleware/garnet/internal/radio"
+	"github.com/garnet-middleware/garnet/internal/sim"
+)
+
+var epoch = time.Date(2003, 5, 19, 0, 0, 0, 0, time.UTC)
+
+func TestBroadcastReachesDownlinkListeners(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	medium := radio.NewMedium(clock, radio.Params{})
+	var heard [][]byte
+	medium.Attach(radio.BandDownlink, &radio.Listener{
+		Name:     "sensor",
+		Position: func() geo.Point { return geo.Pt(50, 0) },
+		Radius:   1e6,
+		Deliver:  func(f radio.Frame) { heard = append(heard, f.Data) },
+	})
+	// Nothing on the uplink band must hear transmitters.
+	uplinkHeard := 0
+	medium.Attach(radio.BandUplink, &radio.Listener{
+		Name:     "rx",
+		Position: func() geo.Point { return geo.Pt(50, 0) },
+		Radius:   1e6,
+		Deliver:  func(radio.Frame) { uplinkHeard++ },
+	})
+
+	tx := New(medium, Config{Name: "tx", Position: geo.Pt(0, 0), Range: 100})
+	tx.Broadcast([]byte("ctrl-frame"))
+	clock.RunAll()
+
+	if len(heard) != 1 || string(heard[0]) != "ctrl-frame" {
+		t.Fatalf("downlink heard %d frames", len(heard))
+	}
+	if uplinkHeard != 0 {
+		t.Fatal("transmitter leaked onto the uplink band")
+	}
+	if st := tx.Stats(); st.Broadcasts != 1 || st.Bytes != int64(len("ctrl-frame")) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRangeLimitsDelivery(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	medium := radio.NewMedium(clock, radio.Params{})
+	heard := 0
+	medium.Attach(radio.BandDownlink, &radio.Listener{
+		Name:     "far-sensor",
+		Position: func() geo.Point { return geo.Pt(500, 0) },
+		Radius:   1e6,
+		Deliver:  func(radio.Frame) { heard++ },
+	})
+	tx := New(medium, Config{Position: geo.Pt(0, 0), Range: 100})
+	tx.Broadcast([]byte("x"))
+	clock.RunAll()
+	if heard != 0 {
+		t.Fatal("broadcast exceeded transmitter range")
+	}
+}
+
+func TestCoverageAndName(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	medium := radio.NewMedium(clock, radio.Params{})
+	tx := New(medium, Config{Name: "north", Position: geo.Pt(1, 2), Range: 30})
+	if tx.Name() != "north" {
+		t.Fatalf("Name = %q", tx.Name())
+	}
+	want := geo.Circle{Center: geo.Pt(1, 2), R: 30}
+	if tx.Coverage() != want {
+		t.Fatalf("Coverage = %+v", tx.Coverage())
+	}
+	anon := New(medium, Config{Position: geo.Pt(0, 0), Range: 1})
+	if anon.Name() == "" {
+		t.Fatal("default name empty")
+	}
+}
+
+func TestNewValidatesRange(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	medium := radio.NewMedium(clock, radio.Params{})
+	for _, r := range []float64{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range %v accepted", r)
+				}
+			}()
+			New(medium, Config{Position: geo.Pt(0, 0), Range: r})
+		}()
+	}
+}

@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamIDComposition(t *testing.T) {
+	tests := []struct {
+		name   string
+		sensor SensorID
+		index  StreamIndex
+	}{
+		{"zero", 0, 0},
+		{"small", 42, 3},
+		{"max sensor", MaxSensorID, 0},
+		{"max index", 0, MaxStreamIndex},
+		{"both max", MaxSensorID, MaxStreamIndex},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			id, err := NewStreamID(tt.sensor, tt.index)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id.Sensor() != tt.sensor {
+				t.Errorf("Sensor = %d, want %d", id.Sensor(), tt.sensor)
+			}
+			if id.Index() != tt.index {
+				t.Errorf("Index = %d, want %d", id.Index(), tt.index)
+			}
+		})
+	}
+}
+
+func TestStreamIDRejectsOversizedSensor(t *testing.T) {
+	if _, err := NewStreamID(MaxSensorID+1, 0); err == nil {
+		t.Fatal("want ErrSensorRange for 2^24")
+	}
+}
+
+func TestMustStreamIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	MustStreamID(MaxSensorID+1, 0)
+}
+
+func TestStreamIDStringRoundTrip(t *testing.T) {
+	tests := []StreamID{
+		MustStreamID(0, 0),
+		MustStreamID(42, 3),
+		MustStreamID(MaxSensorID, MaxStreamIndex),
+	}
+	for _, id := range tests {
+		parsed, err := ParseStreamID(id.String())
+		if err != nil {
+			t.Fatalf("ParseStreamID(%q): %v", id.String(), err)
+		}
+		if parsed != id {
+			t.Errorf("round trip %q: got %v", id.String(), parsed)
+		}
+	}
+}
+
+func TestParseStreamIDErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"no slash", "42"},
+		{"bad sensor", "x/1"},
+		{"bad index", "1/x"},
+		{"index too big", "1/256"},
+		{"sensor too big", "16777216/0"},
+		{"empty", ""},
+		{"negative", "-1/0"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseStreamID(tt.in); err == nil {
+				t.Errorf("ParseStreamID(%q) succeeded, want error", tt.in)
+			}
+		})
+	}
+}
+
+// TestCapacityClaims pins the four numeric capacity claims from §1 of the
+// paper: “supports up to 16.7M sensors, 256 internal-streams/sensor, 64K
+// sequence counts and payloads of 64K bytes”.
+func TestCapacityClaims(t *testing.T) {
+	if got, want := MaxSensorID+1, 1<<24; got != want {
+		t.Errorf("sensor capacity = %d, want %d (16.7M)", got, want)
+	}
+	if got, want := MaxStreamIndex+1, 256; got != want {
+		t.Errorf("streams/sensor = %d, want %d", got, want)
+	}
+	if got, want := SeqCount, 1<<16; got != want {
+		t.Errorf("sequence counts = %d, want %d (64K)", got, want)
+	}
+	if got, want := MaxPayload, 1<<16-1; got != want {
+		t.Errorf("max payload = %d, want %d", got, want)
+	}
+}
+
+func TestSeqLess(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Seq
+		want bool
+	}{
+		{"adjacent", 0, 1, true},
+		{"reverse adjacent", 1, 0, false},
+		{"equal", 7, 7, false},
+		{"wraparound", 65535, 0, true},
+		{"wraparound reverse", 0, 65535, false},
+		{"large forward", 0, 32767, true},
+		{"large backward", 0, 32769, false},
+		{"across wrap", 65000, 1000, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Less(tt.b); got != tt.want {
+				t.Errorf("%d.Less(%d) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSeqOppositeValuesUnordered(t *testing.T) {
+	// RFC 1982: values exactly 2^15 apart are unordered in both directions.
+	var a, b Seq = 0, 1 << 15
+	if a.Less(b) || b.Less(a) {
+		t.Errorf("opposite values should be unordered: a<b=%v b<a=%v", a.Less(b), b.Less(a))
+	}
+}
+
+func TestSeqDistance(t *testing.T) {
+	tests := []struct {
+		a, b Seq
+		want int
+	}{
+		{0, 1, 1},
+		{1, 0, -1},
+		{5, 5, 0},
+		{65535, 0, 1},
+		{0, 65535, -1},
+		{65000, 1000, 1536},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Distance(tt.b); got != tt.want {
+			t.Errorf("Distance(%d, %d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestSeqNextWraps(t *testing.T) {
+	if got := Seq(65535).Next(); got != 0 {
+		t.Errorf("Next(65535) = %d, want 0", got)
+	}
+}
+
+// Property: Less is antisymmetric and consistent with Distance, and Next
+// always advances by serial distance 1.
+func TestSeqSerialArithmeticProperties(t *testing.T) {
+	f := func(a, b uint16) bool {
+		sa, sb := Seq(a), Seq(b)
+		if sa.Less(sb) && sb.Less(sa) {
+			return false // antisymmetry
+		}
+		d := sa.Distance(sb)
+		if sa.Less(sb) != (d > 0) {
+			return false // Less agrees with positive forward distance
+		}
+		if sa.Distance(sa.Next()) != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamIDStringFormat(t *testing.T) {
+	if got := MustStreamID(1042, 3).String(); got != "1042/3" {
+		t.Errorf("String = %q, want \"1042/3\"", got)
+	}
+}

@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: the decoders must never panic, whatever bytes the medium
+// hands them — they either return a message or an error.
+
+func TestDecodeMessageNeverPanicsOnArbitraryBytes(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		msg, n, err := DecodeMessage(data)
+		if err == nil {
+			// A successful decode must be internally consistent.
+			if n <= 0 || n > len(data) {
+				return false
+			}
+			if msg.Flags.Has(flagReserved) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeControlNeverPanicsOnArbitraryBytes(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		c, err := DecodeControl(data)
+		if err == nil && !c.Op.Valid() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Random bytes that happen to satisfy version/flags/length constraints
+// must still fail the checksum almost always: a valid-looking frame from
+// noise is effectively impossible.
+func TestRandomBytesRarelyDecode(t *testing.T) {
+	okCount := 0
+	const trials = 5000
+	f := func(data []byte) bool {
+		if len(data) < HeaderSize+ChecksumSize {
+			return true
+		}
+		if _, _, err := DecodeMessage(data); err == nil {
+			okCount++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: trials}); err != nil {
+		t.Fatal(err)
+	}
+	// The version bits alone reject 3/4; the checksum rejects ~65535/65536
+	// of the rest. Even a handful of accepts would indicate a weak screen.
+	if okCount > 2 {
+		t.Errorf("%d of %d random byte strings decoded successfully", okCount, trials)
+	}
+}
