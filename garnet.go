@@ -89,6 +89,24 @@ func WithAsyncDispatch(queueCapacity int) Option {
 	}
 }
 
+// WithDispatchShards partitions the Dispatching Service's subscription
+// table into n shards so publishes on streams of different sensors never
+// contend on one lock (n <= 0 selects the default; 1 restores the single
+// shared table).
+func WithDispatchShards(n int) Option {
+	return func(cfg *core.Config) { cfg.Dispatch.Shards = n }
+}
+
+// WithBatchSize caps how many queued deliveries an asynchronous consumer
+// drainer coalesces per wakeup. Consumers implementing BatchConsumer
+// receive the whole batch in one ConsumeBatch call; others see the batch
+// replayed through Consume in order (k <= 0 selects the default; 1
+// restores delivery-at-a-time draining). Only meaningful together with
+// WithAsyncDispatch.
+func WithBatchSize(k int) Option {
+	return func(cfg *core.Config) { cfg.Dispatch.BatchSize = k }
+}
+
 // WithReorderWindow holds deliveries up to d and releases them in sequence
 // order (bounded-latency ordering on top of duplicate elimination).
 func WithReorderWindow(d time.Duration) Option {

@@ -1,0 +1,3 @@
+module github.com/garnet-middleware/garnet
+
+go 1.24

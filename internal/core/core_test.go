@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -343,4 +344,47 @@ func TestNewRequiresSecret(t *testing.T) {
 		}
 	}()
 	New(Config{Clock: sim.NewVirtualClock(epoch)})
+}
+
+// TestDispatchShardingThreadsThroughConfig: Config.Dispatch sharding and
+// batching options reach the assembled dispatcher and deliveries flow
+// end-to-end through the sharded, batch-draining engine.
+func TestDispatchShardingThreadsThroughConfig(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	d := New(Config{
+		Clock:  clock,
+		Secret: []byte("test-secret"),
+		Dispatch: dispatch.Options{
+			Mode:          dispatch.ModeAsync,
+			Shards:        4,
+			BatchSize:     8,
+			QueueCapacity: 256,
+		},
+	})
+	recs := make([]*consumer.Recorder, 3)
+	for i := range recs {
+		recs[i] = consumer.NewRecorder(fmt.Sprintf("app-%d", i), 64)
+		// Distinct sensors: streams home to (very likely) different shards.
+		id := wire.MustStreamID(wire.SensorID(i+1), 0)
+		if _, err := d.Dispatcher().Subscribe(recs[i], dispatch.Exact(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Start()
+	for i := range recs {
+		for seq := 0; seq < 20; seq++ {
+			d.PublishDerived(wire.Message{
+				Stream: wire.MustStreamID(wire.SensorID(i+1), 0), Seq: wire.Seq(seq),
+			}, clock.Now())
+		}
+	}
+	d.Stop() // drains async queues
+	for i, r := range recs {
+		if r.Count() != 20 {
+			t.Fatalf("consumer %d got %d of 20", i, r.Count())
+		}
+	}
+	if st := d.Stats().Dispatch; st.Shards != 4 || st.Delivered != 60 {
+		t.Fatalf("Shards=%d Delivered=%d, want 4/60", st.Shards, st.Delivered)
+	}
 }

@@ -13,33 +13,47 @@ var portSeq atomic.Uint64
 // port is one consumer's delivery endpoint: in async mode a bounded FIFO
 // drained by a dedicated worker goroutine; in sync mode just the consumer
 // reference (the queue fields stay unused).
+//
+// The drainer coalesces up to batchSize queued deliveries per wakeup.
+// Consumers implementing BatchConsumer receive the whole batch in one
+// ConsumeBatch call; others get the batch replayed through Consume one
+// delivery at a time, so batching is transparent to existing consumers.
 type port struct {
 	seq      uint64 // creation order, for deterministic sync fan-out
 	consumer Consumer
-	refs     int // live subscriptions; guarded by Dispatcher.mu
+	batcher  BatchConsumer // non-nil when consumer supports batches
+	refs     int           // live subscriptions; guarded by Dispatcher.mu
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []filtering.Delivery // ring buffer
-	head     int
-	count    int
-	capacity int
-	overflow OverflowPolicy
-	closed   bool
-	running  bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []filtering.Delivery // ring buffer
+	head      int
+	count     int
+	capacity  int
+	batchSize int
+	overflow  OverflowPolicy
+	closed    bool
+	running   bool
 
-	dropped *metrics.Counter // shared dispatcher counter
+	dropped  *metrics.Counter // shared dispatcher total
+	selfDrop *metrics.Counter // this consumer's overflow discards
 }
 
-func newPort(c Consumer, capacity int, overflow OverflowPolicy, dropped *metrics.Counter) *port {
-	p := &port{
-		seq:      portSeq.Add(1),
-		consumer: c,
-		queue:    make([]filtering.Delivery, capacity),
-		capacity: capacity,
-		overflow: overflow,
-		dropped:  dropped,
+func newPort(c Consumer, capacity, batchSize int, overflow OverflowPolicy, dropped, selfDrop *metrics.Counter) *port {
+	if batchSize > capacity {
+		batchSize = capacity
 	}
+	p := &port{
+		seq:       portSeq.Add(1),
+		consumer:  c,
+		queue:     make([]filtering.Delivery, capacity),
+		capacity:  capacity,
+		batchSize: batchSize,
+		overflow:  overflow,
+		dropped:   dropped,
+		selfDrop:  selfDrop,
+	}
+	p.batcher, _ = c.(BatchConsumer)
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
@@ -51,10 +65,12 @@ func (p *port) enqueue(d filtering.Delivery) bool {
 	defer p.mu.Unlock()
 	if p.closed {
 		p.dropped.Inc()
+		p.selfDrop.Inc()
 		return false
 	}
 	if p.count == p.capacity {
 		p.dropped.Inc()
+		p.selfDrop.Inc()
 		if p.overflow == DropNewest {
 			return false
 		}
@@ -68,8 +84,11 @@ func (p *port) enqueue(d filtering.Delivery) bool {
 	return true
 }
 
-// run drains the queue until the port is closed and empty.
+// run drains the queue until the port is closed and empty, taking up to
+// batchSize deliveries per wakeup. The batch buffer is reused between
+// wakeups; BatchConsumer implementations must not retain it.
 func (p *port) run() {
+	batch := make([]filtering.Delivery, 0, p.batchSize)
 	for {
 		p.mu.Lock()
 		for p.count == 0 && !p.closed {
@@ -79,12 +98,26 @@ func (p *port) run() {
 			p.mu.Unlock()
 			return
 		}
-		d := p.queue[p.head]
-		p.queue[p.head] = filtering.Delivery{} // release payload reference
-		p.head = (p.head + 1) % p.capacity
-		p.count--
+		n := p.count
+		if n > p.batchSize {
+			n = p.batchSize
+		}
+		batch = batch[:0]
+		for i := 0; i < n; i++ {
+			batch = append(batch, p.queue[p.head])
+			p.queue[p.head] = filtering.Delivery{} // release payload reference
+			p.head = (p.head + 1) % p.capacity
+		}
+		p.count -= n
 		p.mu.Unlock()
-		p.consumer.Consume(d)
+
+		if p.batcher != nil {
+			p.batcher.ConsumeBatch(batch)
+			continue
+		}
+		for _, d := range batch {
+			p.consumer.Consume(d)
+		}
 	}
 }
 

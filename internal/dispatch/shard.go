@@ -1,0 +1,89 @@
+package dispatch
+
+import (
+	"sync"
+
+	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// shard is one partition of the subscription table. Exact and by-sensor
+// subscriptions are shard-local: the partition key is the sensor component
+// of the StreamID, so every stream of a sensor — and therefore every
+// subscription that can match it by id — lands in the same shard, and a
+// Dispatch call takes exactly one shard lock. Wildcard (All/Where)
+// subscriptions live in the dispatcher's shared read-mostly index instead.
+//
+// Stream advertising state (StreamInfo) is kept per shard too, so the
+// discovery bookkeeping on the hot path never touches a global lock.
+type shard struct {
+	mu      sync.Mutex
+	exact   map[wire.StreamID]map[SubscriptionID]*subscription
+	sensor  map[wire.SensorID]map[SubscriptionID]*subscription
+	streams map[wire.StreamID]*StreamInfo
+
+	// Hot-path counters are shard-local so concurrent publishes on
+	// different shards never bounce a shared counter cache line; Stats
+	// sums them. Each shard is its own heap allocation, so counters of
+	// different shards live on different cache lines.
+	dispatched metrics.Counter
+	delivered  metrics.Counter
+	orphaned   metrics.Counter
+}
+
+func newShards(n int) []*shard {
+	shards := make([]*shard, n)
+	for i := range shards {
+		shards[i] = &shard{
+			exact:   make(map[wire.StreamID]map[SubscriptionID]*subscription),
+			sensor:  make(map[wire.SensorID]map[SubscriptionID]*subscription),
+			streams: make(map[wire.StreamID]*StreamInfo),
+		}
+	}
+	return shards
+}
+
+// shardIndex maps a sensor id to its shard. The multiplier is the 32-bit
+// Fibonacci-hashing constant (2^32/φ); sensor ids are often small and
+// sequential, and the multiply-shift spreads them uniformly across shards
+// even when the shard count is a power of two.
+func shardIndex(id wire.SensorID, n int) int {
+	h := uint32(id) * 0x9e3779b9
+	return int((uint64(h) * uint64(n)) >> 32)
+}
+
+// addExactLocked inserts sub into the shard's exact index.
+func (s *shard) addExactLocked(sub *subscription) {
+	m := s.exact[sub.pattern.Stream]
+	if m == nil {
+		m = make(map[SubscriptionID]*subscription)
+		s.exact[sub.pattern.Stream] = m
+	}
+	m[sub.id] = sub
+}
+
+// addSensorLocked inserts sub into the shard's by-sensor index.
+func (s *shard) addSensorLocked(sub *subscription) {
+	m := s.sensor[sub.pattern.Sensor]
+	if m == nil {
+		m = make(map[SubscriptionID]*subscription)
+		s.sensor[sub.pattern.Sensor] = m
+	}
+	m[sub.id] = sub
+}
+
+// removeLocked deletes sub from whichever shard index holds it.
+func (s *shard) removeLocked(sub *subscription) {
+	switch sub.pattern.Kind {
+	case KindExact:
+		delete(s.exact[sub.pattern.Stream], sub.id)
+		if len(s.exact[sub.pattern.Stream]) == 0 {
+			delete(s.exact, sub.pattern.Stream)
+		}
+	case KindSensor:
+		delete(s.sensor[sub.pattern.Sensor], sub.id)
+		if len(s.sensor[sub.pattern.Sensor]) == 0 {
+			delete(s.sensor, sub.pattern.Sensor)
+		}
+	}
+}

@@ -8,8 +8,8 @@
 // rendered as aligned text by cmd/garnet-bench and re-run as testing.B
 // benchmarks from the repository-root bench_test.go. Experiments run on
 // virtual time with seeded randomness, so the numbers are reproducible
-// bit-for-bit; only the throughput experiments (F2, E2, E9, E11) measure
-// wall-clock rates.
+// bit-for-bit; only the throughput experiments (F2, E2, E9, E11, E13)
+// measure wall-clock rates.
 package experiments
 
 import (
@@ -125,6 +125,7 @@ func All() []Experiment {
 		{"E10", "Orphanage capture and late claims (§4.2)", runE10},
 		{"E11", "Multi-level consumer hierarchies (§6)", runE11},
 		{"E12", "Return-path value vs transmit-only fields (§2)", runE12},
+		{"E13", "Sharded dispatch under concurrent publishers", runE13},
 		{"X1", "Multi-hop relaying — §8 future-work extension", runX1},
 	}
 }

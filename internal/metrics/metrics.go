@@ -44,6 +44,42 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// LabeledCounter is a set of Counters keyed by a string label (for
+// per-consumer or per-stream accounting). The zero value is ready to use.
+// With returns a stable *Counter per label, so hot paths resolve their
+// label once and then increment lock-free.
+type LabeledCounter struct {
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// With returns the counter for label, creating it on first use. The
+// returned pointer stays valid for the LabeledCounter's lifetime.
+func (lc *LabeledCounter) With(label string) *Counter {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.m == nil {
+		lc.m = make(map[string]*Counter)
+	}
+	c, ok := lc.m[label]
+	if !ok {
+		c = &Counter{}
+		lc.m[label] = c
+	}
+	return c
+}
+
+// Snapshot returns the current value of every label's counter.
+func (lc *LabeledCounter) Snapshot() map[string]int64 {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	out := make(map[string]int64, len(lc.m))
+	for label, c := range lc.m {
+		out[label] = c.Value()
+	}
+	return out
+}
+
 // Histogram records every observed sample and reports exact order
 // statistics. The zero value is ready to use. Safe for concurrent use.
 type Histogram struct {

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -130,5 +131,43 @@ func TestHistogramConcurrent(t *testing.T) {
 	wg.Wait()
 	if got := h.Count(); got != 4000 {
 		t.Fatalf("Count = %d, want 4000", got)
+	}
+}
+
+func TestLabeledCounter(t *testing.T) {
+	var lc LabeledCounter
+	a := lc.With("a")
+	a.Inc()
+	a.Add(2)
+	lc.With("b").Inc()
+	if lc.With("a") != a {
+		t.Fatal("With must return a stable pointer per label")
+	}
+	snap := lc.Snapshot()
+	if snap["a"] != 3 || snap["b"] != 1 {
+		t.Fatalf("Snapshot = %v, want a=3 b=1", snap)
+	}
+	if _, ok := snap["c"]; ok {
+		t.Fatal("Snapshot invented a label")
+	}
+}
+
+func TestLabeledCounterConcurrent(t *testing.T) {
+	var lc LabeledCounter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			label := fmt.Sprintf("l%d", i%2)
+			for j := 0; j < 1000; j++ {
+				lc.With(label).Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := lc.Snapshot()
+	if snap["l0"] != 4000 || snap["l1"] != 4000 {
+		t.Fatalf("Snapshot = %v, want l0=l1=4000", snap)
 	}
 }

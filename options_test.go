@@ -237,3 +237,58 @@ func TestRelayThroughPublicAPI(t *testing.T) {
 		t.Fatal("delivery not marked relayed")
 	}
 }
+
+func TestWithDispatchShardsAndBatchSize(t *testing.T) {
+	clock := garnet.NewVirtualClock(epoch)
+	g := garnet.New(
+		garnet.WithClock(clock),
+		garnet.WithSecret([]byte("s")),
+		garnet.WithDispatchShards(4),
+		garnet.WithAsyncDispatch(64),
+		garnet.WithBatchSize(8),
+	)
+	g.AddReceiver(garnet.ReceiverConfig{Position: garnet.Pt(0, 0), Radius: 100})
+	// Two sensors → streams land in (very likely distinct) shards; either
+	// way both must be delivered and the shard count must be observable.
+	for id := garnet.SensorID(1); id <= 2; id++ {
+		if _, err := g.AddSensor(garnet.SensorConfig{
+			ID: id, Mobility: garnet.Static{P: garnet.Pt(float64(id), 0)}, TxRange: 100,
+			Streams: []garnet.StreamConfig{{
+				Index: 0, Sampler: garnet.SizedSampler(4), Period: time.Second, Enabled: true,
+			}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tok, err := g.Register("app", garnet.PermSubscribe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var batched, total int
+	if _, err := g.Subscribe(tok, garnet.All(), &garnet.BatchConsumerFunc{
+		ConsumerName: "batch-app",
+		Fn: func(ds []garnet.Delivery) {
+			mu.Lock()
+			batched++
+			total += len(ds)
+			mu.Unlock()
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	clock.Advance(10 * time.Second)
+	g.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if total != 20 {
+		t.Fatalf("batched deliveries = %d, want 20 (2 sensors × 10 ticks)", total)
+	}
+	if batched > total {
+		t.Fatalf("ConsumeBatch called %d times for %d deliveries", batched, total)
+	}
+	if shards := g.Stats().Dispatch.Shards; shards != 4 {
+		t.Fatalf("Stats.Dispatch.Shards = %d, want 4", shards)
+	}
+}

@@ -173,6 +173,10 @@ type (
 	Consumer = dispatch.Consumer
 	// ConsumerFunc adapts a function to Consumer.
 	ConsumerFunc = dispatch.ConsumerFunc
+	// BatchConsumer receives coalesced delivery batches in async mode.
+	BatchConsumer = dispatch.BatchConsumer
+	// BatchConsumerFunc adapts a batch function to BatchConsumer.
+	BatchConsumerFunc = dispatch.BatchConsumerFunc
 	// Pattern selects streams for a subscription.
 	Pattern = dispatch.Pattern
 	// SubscriptionID identifies a subscription.
