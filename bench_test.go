@@ -79,23 +79,47 @@ func BenchmarkWireEncode(b *testing.B) {
 	}
 }
 
+// BenchmarkWireDecode compares the three decode modes: the historical
+// copying DecodeMessage (one payload allocation per frame), the reusable
+// DecodeMessageInto (allocation-free once the destination's payload
+// buffer has grown), and the zero-copy DecodeMessageBorrowed (payload
+// aliases the frame; never allocates).
 func BenchmarkWireDecode(b *testing.B) {
 	for _, size := range []int{0, 16, 256, 4096} {
-		b.Run(fmt.Sprintf("payload=%d", size), func(b *testing.B) {
-			msg := wire.Message{
-				Stream:  wire.MustStreamID(123456, 7),
-				Seq:     42,
-				Payload: make([]byte, size),
-			}
-			frame, err := msg.Encode()
-			if err != nil {
-				b.Fatal(err)
-			}
+		msg := wire.Message{
+			Stream:  wire.MustStreamID(123456, 7),
+			Seq:     42,
+			Payload: make([]byte, size),
+		}
+		frame, err := msg.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("payload=%d/mode=copy", size), func(b *testing.B) {
 			b.ReportAllocs()
 			b.SetBytes(int64(len(frame)))
-			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := wire.DecodeMessage(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("payload=%d/mode=into", size), func(b *testing.B) {
+			var m wire.Message
+			b.ReportAllocs()
+			b.SetBytes(int64(len(frame)))
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.DecodeMessageInto(frame, &m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("payload=%d/mode=borrow", size), func(b *testing.B) {
+			var m wire.Message
+			b.ReportAllocs()
+			b.SetBytes(int64(len(frame)))
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.DecodeMessageBorrowed(frame, &m); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -103,22 +127,100 @@ func BenchmarkWireDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkFilterIngest is the single-stream ingest hot path: copies=1 is
+// pure accept, higher copy counts mix in the duplicate-suppression path
+// that overlapping receiver zones produce. shards=1 reproduces the
+// historical global-mutex filter; the sharded default adds the
+// single-entry stream cache and shard-local counters. Steady state must
+// stay at 0 allocs/op.
 func BenchmarkFilterIngest(b *testing.B) {
 	for _, dup := range []int{1, 3, 6} {
-		b.Run(fmt.Sprintf("copies=%d", dup), func(b *testing.B) {
+		for _, shards := range []int{1, filtering.DefaultShards} {
+			b.Run(fmt.Sprintf("copies=%d/shards=%d", dup, shards), func(b *testing.B) {
+				f := filtering.New(func(filtering.Delivery) {}, filtering.Options{Shards: shards})
+				id := wire.MustStreamID(1, 0)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rc := receiver.Reception{
+						Msg: wire.Message{Stream: id, Seq: wire.Seq(i)},
+					}
+					for c := 0; c < dup; c++ {
+						f.Ingest(rc)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFilterIngestZeroCopy measures the borrow-mode drop path: a
+// borrowed payload-carrying reception whose duplicate is screened out
+// must cost no payload copy and no allocation — the win the zero-copy
+// decode buys under dense receiver overlap.
+func BenchmarkFilterIngestZeroCopy(b *testing.B) {
+	for _, size := range []int{16, 256} {
+		b.Run(fmt.Sprintf("payload=%d", size), func(b *testing.B) {
 			f := filtering.New(func(filtering.Delivery) {}, filtering.Options{})
 			id := wire.MustStreamID(1, 0)
+			payload := make([]byte, size)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				rc := receiver.Reception{
-					Msg: wire.Message{Stream: id, Seq: wire.Seq(i)},
+					Msg:      wire.Message{Stream: id, Seq: wire.Seq(i), Payload: payload},
+					Borrowed: true,
 				}
-				for c := 0; c < dup; c++ {
-					f.Ingest(rc)
-				}
+				f.Ingest(rc) // accepted: one detaching payload copy
+				f.Ingest(rc) // duplicate: dropped with zero copies
+				f.Ingest(rc)
 			}
 		})
+	}
+}
+
+// BenchmarkFilterIngestShards runs concurrent ingest across disjoint
+// streams (one per publisher goroutine), sweeping the filter shard
+// count. With one shard every reception serialises on one mutex; with
+// the default count unrelated streams ingest without contention. On a
+// single-core host only the reduced serial overhead shows; the
+// structural win needs real cores.
+func BenchmarkFilterIngestShards(b *testing.B) {
+	for _, publishers := range []int{1, 10, 100} {
+		for _, shards := range []int{1, filtering.DefaultShards} {
+			b.Run(fmt.Sprintf("publishers=%d/shards=%d", publishers, shards), func(b *testing.B) {
+				var sunk atomic.Int64
+				f := filtering.New(func(filtering.Delivery) { sunk.Add(1) },
+					filtering.Options{Shards: shards})
+				streams := make([]wire.StreamID, publishers)
+				for i := range streams {
+					streams[i] = wire.MustStreamID(wire.SensorID(i+1), 0)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for g := 0; g < publishers; g++ {
+					n := b.N / publishers
+					if g < b.N%publishers {
+						n++
+					}
+					wg.Add(1)
+					go func(stream wire.StreamID, n int) {
+						defer wg.Done()
+						for i := 0; i < n; i++ {
+							f.Ingest(receiver.Reception{
+								Msg: wire.Message{Stream: stream, Seq: wire.Seq(i)},
+							})
+						}
+					}(streams[g], n)
+				}
+				wg.Wait()
+				b.StopTimer()
+				if got := sunk.Load(); got != int64(b.N) {
+					b.Fatalf("delivered %d of %d", got, b.N)
+				}
+			})
+		}
 	}
 }
 
@@ -347,6 +449,13 @@ func BenchmarkAblationDispatchMode(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE13ShardedDispatch regenerates the dispatch-sharding table.
+func BenchmarkE13ShardedDispatch(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14ShardedIngest regenerates the filter-sharding table (the
+// full receive → filter → dispatch pipeline under concurrent receivers).
+func BenchmarkE14ShardedIngest(b *testing.B) { benchExperiment(b, "E14") }
 
 // BenchmarkX1MultiHopRelaying regenerates the §8 extension table.
 func BenchmarkX1MultiHopRelaying(b *testing.B) { benchExperiment(b, "X1") }

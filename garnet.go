@@ -107,6 +107,16 @@ func WithBatchSize(k int) Option {
 	return func(cfg *core.Config) { cfg.Dispatch.BatchSize = k }
 }
 
+// WithFilterShards partitions the Filtering Service's per-stream
+// duplicate/reorder state into n shards so receptions on streams of
+// different sensors never contend on one ingest lock (n <= 0 selects the
+// default; 1 restores the single shared table). Pair with
+// WithDispatchShards: the two services shard on the same key, so a stream
+// takes at most one ingest lock and one dispatch lock end to end.
+func WithFilterShards(n int) Option {
+	return func(cfg *core.Config) { cfg.Filter.Shards = n }
+}
+
 // WithReorderWindow holds deliveries up to d and releases them in sequence
 // order (bounded-latency ordering on top of duplicate elimination).
 func WithReorderWindow(d time.Duration) Option {

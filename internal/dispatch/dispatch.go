@@ -454,7 +454,7 @@ func (d *Dispatcher) Unsubscribe(id SubscriptionID) bool {
 }
 
 func (d *Dispatcher) shardFor(id wire.SensorID) *shard {
-	return d.shards[shardIndex(id, len(d.shards))]
+	return d.shards[id.Shard(len(d.shards))]
 }
 
 // Dispatch delivers one reconstructed message to every matching consumer,

@@ -43,14 +43,9 @@ func newShards(n int) []*shard {
 	return shards
 }
 
-// shardIndex maps a sensor id to its shard. The multiplier is the 32-bit
-// Fibonacci-hashing constant (2^32/φ); sensor ids are often small and
-// sequential, and the multiply-shift spreads them uniformly across shards
-// even when the shard count is a power of two.
-func shardIndex(id wire.SensorID, n int) int {
-	h := uint32(id) * 0x9e3779b9
-	return int((uint64(h) * uint64(n)) >> 32)
-}
+// The partition function lives on wire.SensorID (SensorID.Shard) so the
+// Filtering Service shards on the identical key and a stream contends on
+// at most one ingest lock and one dispatch lock end to end.
 
 // addExactLocked inserts sub into the shard's exact index.
 func (s *shard) addExactLocked(sub *subscription) {

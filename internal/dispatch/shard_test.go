@@ -17,9 +17,9 @@ import (
 func TestShardIndexInRange(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 16, 17, 100} {
 		for _, id := range []wire.SensorID{0, 1, 2, 255, 1 << 20, wire.MaxSensorID} {
-			got := shardIndex(id, n)
+			got := id.Shard(n)
 			if got < 0 || got >= n {
-				t.Fatalf("shardIndex(%d, %d) = %d, out of range", id, n, got)
+				t.Fatalf("SensorID(%d).Shard(%d) = %d, out of range", id, n, got)
 			}
 		}
 	}
@@ -31,7 +31,7 @@ func TestShardSpread(t *testing.T) {
 	const n = 16
 	var hist [n]int
 	for id := wire.SensorID(0); id < 1024; id++ {
-		hist[shardIndex(id, n)]++
+		hist[id.Shard(n)]++
 	}
 	for i, c := range hist {
 		if c == 0 {

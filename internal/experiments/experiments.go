@@ -126,6 +126,7 @@ func All() []Experiment {
 		{"E11", "Multi-level consumer hierarchies (§6)", runE11},
 		{"E12", "Return-path value vs transmit-only fields (§2)", runE12},
 		{"E13", "Sharded dispatch under concurrent publishers", runE13},
+		{"E14", "Sharded filter ingest under concurrent receivers", runE14},
 		{"X1", "Multi-hop relaying — §8 future-work extension", runX1},
 	}
 }

@@ -9,13 +9,30 @@
 // optional reorder stage releases messages in sequence order after a
 // bounded hold, using the message “sequence or timing information … to
 // allow messages to be correctly ordered” (§4.3).
+//
+// # Sharding
+//
+// Every reception funnels through the filter before it can reach the
+// Dispatching Service, so the per-stream duplicate/reorder state is the
+// ingest-side scalability choke point. It is partitioned into N shards
+// (Options.Shards) keyed by the sensor component of the StreamID — the
+// same key the dispatcher shards on — with shard-local mutexes, counters
+// and reorder timers, so receptions on streams of different sensors never
+// contend. The hot path is allocation-free at steady state: stream state
+// is found through a shard-local single-entry cache before the map,
+// counters are plain ints under the shard mutex, and reorder scratch
+// storage is pooled.
+//
+// Receivers may hand the filter receptions whose payload aliases a leased
+// frame buffer (Reception.Borrowed); the filter detaches (copies) the
+// payload only for the receptions it accepts, so duplicate and stale
+// copies — the common case under overlapping receiver zones — are screened
+// out without the payload ever being copied.
 package filtering
 
 import (
-	"sync"
 	"time"
 
-	"github.com/garnet-middleware/garnet/internal/metrics"
 	"github.com/garnet-middleware/garnet/internal/receiver"
 	"github.com/garnet-middleware/garnet/internal/sim"
 	"github.com/garnet-middleware/garnet/internal/wire"
@@ -34,12 +51,22 @@ type Delivery struct {
 // in sequence numbers.
 const DefaultWindowSize = 1024
 
-// Options configures a Filter. The zero value uses DefaultWindowSize and
-// no reordering.
+// DefaultShards partitions the filter state unless Options.Shards says
+// otherwise. Matches the dispatcher's default so a stream contends on at
+// most one ingest lock and one dispatch lock end to end.
+const DefaultShards = 16
+
+// Options configures a Filter. The zero value uses DefaultWindowSize,
+// DefaultShards and no reordering.
 type Options struct {
 	// WindowSize is the per-stream duplicate window in sequence numbers;
-	// it is rounded up to a multiple of 64. 0 means DefaultWindowSize.
+	// it is rounded up to a power of two (minimum 64, maximum 65536, the
+	// sequence space) so the circular bitmap indexes with a mask. 0 means
+	// DefaultWindowSize.
 	WindowSize int
+	// Shards partitions the per-stream filter state; <= 0 selects
+	// DefaultShards. 1 restores the historical single-table behaviour.
+	Shards int
 	// ReorderWindow, when positive, holds each message for at most this
 	// long and releases messages in sequence order. Clock must be set.
 	ReorderWindow time.Duration
@@ -56,6 +83,7 @@ type Stats struct {
 	Gaps          int64 // sequence numbers skipped (provisionally lost)
 	GapsRecovered int64 // skipped numbers later filled by a late copy
 	ActiveStreams int   // streams with filter state
+	Shards        int   // state partitions
 }
 
 // StreamStats is a per-stream snapshot.
@@ -70,18 +98,9 @@ type StreamStats struct {
 
 // Filter is the Filtering Service.
 type Filter struct {
-	opts Options
-	sink func(Delivery)
-
-	mu      sync.Mutex
-	streams map[wire.StreamID]*streamFilter
-
-	received   metrics.Counter
-	delivered  metrics.Counter
-	duplicates metrics.Counter
-	stale      metrics.Counter
-	gaps       metrics.Counter
-	recovered  metrics.Counter
+	opts   Options
+	sink   func(Delivery)
+	shards []*shard
 }
 
 // New creates a Filter forwarding unique messages to sink. New panics on a
@@ -94,15 +113,27 @@ func New(sink func(Delivery), opts Options) *Filter {
 	if opts.WindowSize <= 0 {
 		opts.WindowSize = DefaultWindowSize
 	}
-	opts.WindowSize = (opts.WindowSize + 63) &^ 63
+	opts.WindowSize = ceilPow2(opts.WindowSize)
+	if opts.Shards <= 0 {
+		opts.Shards = DefaultShards
+	}
 	if opts.ReorderWindow > 0 && opts.Clock == nil {
 		panic("filtering: ReorderWindow requires a Clock")
 	}
-	return &Filter{
-		opts:    opts,
-		sink:    sink,
-		streams: make(map[wire.StreamID]*streamFilter),
+	f := &Filter{opts: opts, sink: sink}
+	f.shards = newShards(f, opts.Shards)
+	return f
+}
+
+// ceilPow2 rounds n up to a power of two in [64, 65536]. The upper bound
+// is the 16-bit sequence space: a window that large can never declare a
+// message stale, only duplicate.
+func ceilPow2(n int) int {
+	p := 64
+	for p < n && p < wire.SeqCount {
+		p <<= 1
 	}
+	return p
 }
 
 type pendingEntry struct {
@@ -111,10 +142,16 @@ type pendingEntry struct {
 }
 
 type streamFilter struct {
-	f *Filter
+	sh *shard
 
-	base      wire.Seq // highest sequence seen, in serial order
-	window    []uint64 // bit i of the conceptual bitmap = (base - i) seen
+	base wire.Seq // highest sequence seen, in serial order
+	// window is a circular seen-bitmap over the last len(window)*64
+	// sequence numbers: the bit for sequence s lives at position
+	// s mod size (size is a power of two dividing the 16-bit sequence
+	// space, so the position is stable across wrap-around). Advancing
+	// the window by one — the in-order hot path — sets a single bit
+	// instead of shifting the whole bitmap.
+	window    []uint64
 	initiated bool
 
 	delivered  int64
@@ -124,116 +161,134 @@ type streamFilter struct {
 
 	// Reorder state (used only when ReorderWindow > 0): pending entries
 	// sorted ascending by sequence, released front-first once held long
-	// enough.
-	pending []pendingEntry
-	timer   sim.Timer
+	// enough. The backing array is retained across pops, so a warmed-up
+	// stream reorders without allocating. releasing serialises timer
+	// fires per stream: a second fire while one is mid-sink would
+	// otherwise deliver later sequences before earlier ones on a real
+	// clock (AfterFunc callbacks run on independent goroutines).
+	pending   []pendingEntry
+	timer     sim.Timer
+	releasing bool
 }
 
 // Ingest screens one reception. Unique messages reach the sink — either
 // immediately (no reordering) or in sequence order after a bounded hold.
+// Receptions marked Borrowed have their payload detached (copied) iff
+// accepted; rejected copies never touch the payload.
 func (f *Filter) Ingest(rc receiver.Reception) {
-	f.received.Inc()
-	f.mu.Lock()
-	sf, ok := f.streams[rc.Msg.Stream]
-	if !ok {
-		sf = &streamFilter{
-			f:         f,
-			window:    make([]uint64, f.opts.WindowSize/64),
-			firstSeen: rc.At,
-		}
-		f.streams[rc.Msg.Stream] = sf
+	sh := f.shardFor(rc.Msg.Stream)
+	sh.mu.Lock()
+	sh.received++
+	sf := sh.last
+	if sf == nil || sh.lastID != rc.Msg.Stream {
+		sf = sh.lookupSlowLocked(rc.Msg.Stream, rc.At)
 	}
 	sf.lastSeen = rc.At
 
-	accepted := sf.accept(rc.Msg.Seq)
-	if !accepted {
-		f.mu.Unlock()
+	if !sf.accept(rc.Msg.Seq) {
+		sh.mu.Unlock()
 		return
 	}
 	sf.delivered++
+	if rc.Borrowed && len(rc.Msg.Payload) > 0 {
+		owned := make([]byte, len(rc.Msg.Payload))
+		copy(owned, rc.Msg.Payload)
+		rc.Msg.Payload = owned
+	}
 	d := Delivery{Msg: rc.Msg, At: rc.At, Receiver: rc.Receiver, RSSI: rc.RSSI}
 
 	if f.opts.ReorderWindow <= 0 {
-		f.mu.Unlock()
-		f.delivered.Inc()
+		sh.delivered++
+		sh.mu.Unlock()
 		f.sink(d)
 		return
 	}
 	sf.enqueueLocked(d, rc.At.Add(f.opts.ReorderWindow))
-	f.mu.Unlock()
+	sh.mu.Unlock()
+}
+
+// bitPos locates seq's bit in the circular bitmap. Called with sh.mu held.
+func (sf *streamFilter) bitPos(seq wire.Seq) (word int, mask uint64) {
+	i := uint32(seq) & uint32(len(sf.window)*64-1)
+	return int(i >> 6), 1 << (i & 63)
+}
+
+// clearRange marks count consecutive sequence positions starting at from
+// as unseen, clearing whole 64-bit words where the circular range spans
+// them (count must be < the window size). Called with sh.mu held.
+func (sf *streamFilter) clearRange(from wire.Seq, count int) {
+	size := len(sf.window) * 64
+	i := int(uint32(from) & uint32(size-1))
+	for count > 0 {
+		off := i & 63
+		n := 64 - off
+		if n > count {
+			n = count
+		}
+		// n bits starting at off; off+n <= 64, and n == 64 yields a
+		// full-word mask.
+		mask := (^uint64(0) >> (64 - n)) << off
+		sf.window[i>>6] &^= mask
+		count -= n
+		if i += n; i == size {
+			i = 0
+		}
+	}
 }
 
 // accept runs the duplicate window; it reports whether seq is new. Called
-// with f.mu held.
+// with sh.mu held.
 func (sf *streamFilter) accept(seq wire.Seq) bool {
 	size := len(sf.window) * 64
 	if !sf.initiated {
 		sf.initiated = true
 		sf.base = seq
-		sf.window[0] = 1 // bit 0: base itself
+		w, m := sf.bitPos(seq)
+		sf.window[w] = m
 		return true
 	}
 	d := sf.base.Distance(seq)
 	switch {
 	case d > 0:
-		// New highest sequence: slide the window forward by d.
-		if d-1 > 0 {
-			sf.f.gaps.Add(int64(d - 1))
+		// New highest sequence: advance the window to seq. Positions for
+		// the skipped numbers (base+1 .. seq-1) re-enter the window as
+		// gaps and must be marked unseen; the in-order case (d == 1)
+		// skips nothing and sets a single bit.
+		if d >= size {
+			clear(sf.window)
+		} else if d > 1 {
+			sf.clearRange(sf.base+1, d-1)
 		}
-		sf.shift(d)
+		if d > 1 {
+			sf.sh.gaps += int64(d - 1)
+		}
 		sf.base = seq
-		sf.window[0] |= 1
+		w, m := sf.bitPos(seq)
+		sf.window[w] |= m
 		return true
 	case d == 0:
 		sf.duplicates++
-		sf.f.duplicates.Inc()
+		sf.sh.duplicates++
 		return false
 	default: // d < 0: an older sequence
-		back := -d
-		if back >= size {
-			sf.f.stale.Inc()
+		if -d >= size {
+			sf.sh.stale++
 			return false
 		}
-		word, bit := back/64, uint(back%64)
-		if sf.window[word]&(1<<bit) != 0 {
+		w, m := sf.bitPos(seq)
+		if sf.window[w]&m != 0 {
 			sf.duplicates++
-			sf.f.duplicates.Inc()
+			sf.sh.duplicates++
 			return false
 		}
-		sf.window[word] |= 1 << bit
-		sf.f.recovered.Inc()
+		sf.window[w] |= m
+		sf.sh.recovered++
 		return true
-	}
-}
-
-// shift slides the bitmap so that bit i becomes bit i+d (older), dropping
-// bits that fall off the end. Called with f.mu held.
-func (sf *streamFilter) shift(d int) {
-	size := len(sf.window) * 64
-	if d >= size {
-		for i := range sf.window {
-			sf.window[i] = 0
-		}
-		return
-	}
-	words, bits := d/64, uint(d%64)
-	n := len(sf.window)
-	if words > 0 {
-		copy(sf.window[words:], sf.window[:n-words])
-		for i := 0; i < words; i++ {
-			sf.window[i] = 0
-		}
-	}
-	if bits > 0 {
-		for i := n - 1; i > 0; i-- {
-			sf.window[i] = sf.window[i]<<bits | sf.window[i-1]>>(64-bits)
-		}
-		sf.window[0] <<= bits
 	}
 }
 
 // enqueueLocked inserts d into the stream's pending list sorted by
-// sequence and (re)arms the release timer.
+// sequence and (re)arms the release timer. Caller holds sh.mu.
 func (sf *streamFilter) enqueueLocked(d Delivery, release time.Time) {
 	// Insert sorted by serial sequence order.
 	at := len(sf.pending)
@@ -256,76 +311,110 @@ func (sf *streamFilter) armTimerLocked() {
 	if sf.timer != nil {
 		sf.timer.Stop()
 	}
-	clock := sf.f.opts.Clock
+	clock := sf.sh.f.opts.Clock
 	delay := sf.pending[0].release.Sub(clock.Now())
 	sf.timer = clock.AfterFunc(delay, sf.release)
 }
 
+// popExpiredLocked moves every front entry whose hold has expired into
+// *out, keeping the pending backing array for reuse. Caller holds sh.mu.
+func (sf *streamFilter) popExpiredLocked(now time.Time, out *[]Delivery) {
+	n := 0
+	for n < len(sf.pending) && !sf.pending[n].release.After(now) {
+		*out = append(*out, sf.pending[n].d)
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	kept := copy(sf.pending, sf.pending[n:])
+	clear(sf.pending[kept:]) // do not pin payloads in the spare capacity
+	sf.pending = sf.pending[:kept]
+}
+
 // release forwards every front entry whose hold has expired, preserving
 // sequence order (a not-yet-expired front entry blocks later ones; its
-// expiry bounds the extra wait).
+// expiry bounds the extra wait). It runs on the clock's timer goroutine
+// and takes only its own shard's mutex. The timer is re-armed only after
+// the sink calls finish, and overlapping fires bail out, so two timer
+// goroutines can never sink one stream's messages out of order.
 func (sf *streamFilter) release() {
-	f := sf.f
-	var out []Delivery
-	f.mu.Lock()
-	now := f.opts.Clock.Now()
-	for len(sf.pending) > 0 && !sf.pending[0].release.After(now) {
-		out = append(out, sf.pending[0].d)
-		sf.pending = sf.pending[1:]
+	sh := sf.sh
+	f := sh.f
+	out := getDeliverySlice()
+	sh.mu.Lock()
+	if sf.releasing {
+		// Another fire is mid-sink; it re-checks and re-arms on exit.
+		sh.mu.Unlock()
+		putDeliverySlice(out)
+		return
 	}
+	sf.releasing = true
+	now := f.opts.Clock.Now()
+	sf.popExpiredLocked(now, out)
+	sh.delivered += int64(len(*out))
 	sf.timer = nil
-	sf.armTimerLocked()
-	f.mu.Unlock()
-	for _, d := range out {
-		f.delivered.Inc()
+	sh.mu.Unlock()
+	for _, d := range *out {
 		f.sink(d)
 	}
+	sh.mu.Lock()
+	sf.releasing = false
+	sf.armTimerLocked()
+	sh.mu.Unlock()
+	putDeliverySlice(out)
 }
 
 // Flush immediately releases all held messages (in per-stream sequence
 // order). Call when shutting down a deployment with reordering enabled.
 func (f *Filter) Flush() {
-	var out []Delivery
-	f.mu.Lock()
-	for _, sf := range f.streams {
-		for _, p := range sf.pending {
-			out = append(out, p.d)
+	out := getDeliverySlice()
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		for _, sf := range sh.streams {
+			for _, p := range sf.pending {
+				*out = append(*out, p.d)
+			}
+			sh.delivered += int64(len(sf.pending))
+			clear(sf.pending)
+			sf.pending = sf.pending[:0]
+			if sf.timer != nil {
+				sf.timer.Stop()
+				sf.timer = nil
+			}
 		}
-		sf.pending = nil
-		if sf.timer != nil {
-			sf.timer.Stop()
-			sf.timer = nil
-		}
+		sh.mu.Unlock()
 	}
-	f.mu.Unlock()
-	for _, d := range out {
-		f.delivered.Inc()
+	for _, d := range *out {
 		f.sink(d)
 	}
+	putDeliverySlice(out)
 }
 
-// Stats returns an aggregate snapshot.
+// Stats returns an aggregate snapshot summed across shards.
 func (f *Filter) Stats() Stats {
-	f.mu.Lock()
-	active := len(f.streams)
-	f.mu.Unlock()
-	return Stats{
-		Received:      f.received.Value(),
-		Delivered:     f.delivered.Value(),
-		Duplicates:    f.duplicates.Value(),
-		Stale:         f.stale.Value(),
-		Gaps:          f.gaps.Value(),
-		GapsRecovered: f.recovered.Value(),
-		ActiveStreams: active,
+	st := Stats{Shards: len(f.shards)}
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		st.Received += sh.received
+		st.Delivered += sh.delivered
+		st.Duplicates += sh.duplicates
+		st.Stale += sh.stale
+		st.Gaps += sh.gaps
+		st.GapsRecovered += sh.recovered
+		st.ActiveStreams += len(sh.streams)
+		sh.mu.Unlock()
 	}
+	return st
 }
 
 // StreamStats returns the per-stream snapshot for id; ok is false when the
 // filter has never seen the stream.
 func (f *Filter) StreamStats(id wire.StreamID) (StreamStats, bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	sf, ok := f.streams[id]
+	sh := f.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sf, ok := sh.streams[id]
 	if !ok {
 		return StreamStats{}, false
 	}
@@ -341,11 +430,13 @@ func (f *Filter) StreamStats(id wire.StreamID) (StreamStats, bool) {
 
 // Streams lists the ids of all streams with filter state.
 func (f *Filter) Streams() []wire.StreamID {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	out := make([]wire.StreamID, 0, len(f.streams))
-	for id := range f.streams {
-		out = append(out, id)
+	var out []wire.StreamID
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		for id := range sh.streams {
+			out = append(out, id)
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }

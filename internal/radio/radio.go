@@ -20,6 +20,7 @@ import (
 	"math/rand/v2"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/garnet-middleware/garnet/internal/geo"
@@ -57,10 +58,67 @@ func (b Band) String() string {
 // Frame is a delivered radio frame. Data is owned by the recipient (each
 // delivery receives an independent copy, since corruption is simulated
 // per delivery).
+//
+// The buffer behind Data is leased from a pool. A recipient that is done
+// with the frame — including every byte Data aliases — should call
+// Release to recycle the buffer; a recipient that retains Data (or hands
+// it to code that does) must simply not call Release, and the buffer
+// falls back to the garbage collector.
 type Frame struct {
 	Data []byte
 	From geo.Point // transmit position (ground truth; used only by the simulator)
 	At   time.Time // delivery time on the medium's clock
+	// DistSq is the squared transmitter→listener distance at broadcast
+	// time. The medium computes it anyway for the range check; carrying
+	// it saves every recipient the recomputation (receivers derive their
+	// RSSI proxy from it without a per-frame distance calculation).
+	DistSq float64
+
+	lease *frameLease // pooled backing buffer; nil once released
+}
+
+// frameLease is one pooled delivery buffer plus its release latch. The
+// latch lives here — not in the Frame — because Frames are passed and
+// stored by value: every copy of a delivered Frame shares the one lease,
+// so Release is exactly-once no matter how many copies call it.
+type frameLease struct {
+	buf      []byte
+	released atomic.Bool
+}
+
+// frameBufs pools delivery buffers: every listener reached by a broadcast
+// receives an independent copy of the frame (corruption is per delivery),
+// and a dense field delivers millions of them. Recipients that call
+// Frame.Release make the whole medium → receiver → filter drop path
+// allocation-free at steady state.
+var frameBufs = sync.Pool{
+	New: func() any { return new(frameLease) },
+}
+
+// leaseFrameBuf returns a pooled lease with a buffer of length n.
+func leaseFrameBuf(n int) *frameLease {
+	l := frameBufs.Get().(*frameLease)
+	if cap(l.buf) < n {
+		l.buf = make([]byte, n)
+	}
+	l.buf = l.buf[:n]
+	l.released.Store(false)
+	return l
+}
+
+// Release returns the frame's buffer to the delivery pool and nils Data.
+// It is idempotent, including across copies of the same delivered Frame.
+// After Release every alias of Data is invalid: callers must have dropped
+// or copied anything they intend to keep.
+func (f *Frame) Release() {
+	l := f.lease
+	if l == nil {
+		return
+	}
+	f.lease, f.Data = nil, nil
+	if !l.released.Swap(true) {
+		frameBufs.Put(l)
+	}
 }
 
 // Listener is an attachment point on the medium: a reception zone plus a
@@ -167,6 +225,7 @@ func (m *Medium) Broadcast(band Band, from geo.Point, txRange float64, data []by
 	type delivery struct {
 		l       *Listener
 		delay   time.Duration
+		distSq  float64
 		corrupt bool
 		flipPos int
 		flipBit byte
@@ -191,7 +250,7 @@ func (m *Medium) Broadcast(band Band, from geo.Point, txRange float64, data []by
 			m.metrics.Lost.Inc()
 			continue
 		}
-		dv := delivery{l: l, delay: m.params.DelayMin}
+		dv := delivery{l: l, delay: m.params.DelayMin, distSq: d2}
 		if jitter := m.params.DelayMax - m.params.DelayMin; jitter > 0 {
 			dv.delay += time.Duration(m.rng.Int64N(int64(jitter) + 1))
 		}
@@ -209,7 +268,8 @@ func (m *Medium) Broadcast(band Band, from geo.Point, txRange float64, data []by
 		return
 	}
 	for _, dv := range deliveries {
-		buf := make([]byte, len(data))
+		lease := leaseFrameBuf(len(data))
+		buf := lease.buf
 		copy(buf, data)
 		if dv.corrupt {
 			buf[dv.flipPos] ^= dv.flipBit
@@ -218,7 +278,7 @@ func (m *Medium) Broadcast(band Band, from geo.Point, txRange float64, data []by
 		l := dv.l
 		m.clock.AfterFunc(dv.delay, func() {
 			m.metrics.Deliveries.Inc()
-			l.Deliver(Frame{Data: buf, From: from, At: m.clock.Now()})
+			l.Deliver(Frame{Data: buf, From: from, At: m.clock.Now(), DistSq: dv.distSq, lease: lease})
 		})
 	}
 }

@@ -13,6 +13,7 @@ package receiver
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/garnet-middleware/garnet/internal/geo"
@@ -31,6 +32,12 @@ type Reception struct {
 	Receiver string    // name of the receiver that heard this copy
 	RSSI     float64   // signal-strength proxy in (0, 1]; larger = closer
 	At       time.Time // reception time at the fixed network
+	// Borrowed marks a zero-copy reception: Msg.Payload aliases the radio
+	// frame buffer and is only valid for the duration of the sink call.
+	// A sink that keeps the message past its return must detach the
+	// payload with a copy first (the Filtering Service does this for
+	// accepted receptions; dropped duplicates are never copied).
+	Borrowed bool
 }
 
 // Config configures a Receiver.
@@ -106,32 +113,50 @@ func (r *Receiver) Stop() {
 
 func (r *Receiver) onFrame(f radio.Frame) {
 	r.heard.Inc()
-	msg, _, err := wire.DecodeMessage(f.Data)
-	if err != nil {
+	// Borrow-mode decode: the payload aliases the frame buffer, so a
+	// duplicate that the filter drops is screened out without a single
+	// payload copy. The filter detaches the payload of accepted
+	// receptions before Ingest returns, which keeps the Release below —
+	// returning the leased buffer to the radio pool — sound.
+	var msg wire.Message
+	if _, err := wire.DecodeMessageBorrowed(f.Data, &msg); err != nil {
 		r.corrupt.Inc()
+		f.Release()
 		return
 	}
 	r.decoded.Inc()
+	d2 := f.DistSq
+	if d2 == 0 && f.From != r.cfg.Position {
+		// Hand-built frame without the medium's precomputed distance.
+		d2 = r.cfg.Position.DistSq(f.From)
+	}
 	r.sink(Reception{
 		Msg:      msg,
 		Receiver: r.cfg.Name,
-		RSSI:     r.rssi(f.From),
+		RSSI:     r.rssi(d2),
 		At:       f.At,
+		Borrowed: true,
 	})
+	f.Release()
 }
 
-// rssi converts transmitter distance into the signal-strength proxy: 1 at
-// the receiver itself falling linearly to a small floor at the zone edge.
-// A real deployment would read this from the radio hardware; the linear
-// proxy preserves the only property the location service needs, namely
-// that strength decreases monotonically with distance.
-func (r *Receiver) rssi(from geo.Point) float64 {
+// rssi converts squared transmitter distance into the signal-strength
+// proxy: 1 at the receiver itself falling linearly to a small floor at
+// the zone edge. A real deployment would read this from the radio
+// hardware; the linear proxy preserves the only property the location
+// service needs, namely that strength decreases monotonically with
+// distance.
+//
+// The frame's squared distance — computed once by the medium for its
+// range check and carried on the frame — gates the square root behind a
+// cheap squared compare, so no per-frame distance recomputation happens
+// here for any transmitter, static or mobile.
+func (r *Receiver) rssi(d2 float64) float64 {
 	const floor = 0.01
-	d := r.cfg.Position.Dist(from)
-	if d >= r.cfg.Radius {
+	if d2 >= r.cfg.Radius*r.cfg.Radius {
 		return floor
 	}
-	v := 1 - d/r.cfg.Radius
+	v := 1 - math.Sqrt(d2)/r.cfg.Radius
 	if v < floor {
 		return floor
 	}

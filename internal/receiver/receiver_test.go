@@ -109,6 +109,76 @@ func TestReceiverRSSIMonotonicInDistance(t *testing.T) {
 	}
 }
 
+// TestReceiverRSSITracksPosition: the RSSI proxy is derived from the
+// squared distance the medium precomputes per delivery (Frame.DistSq).
+// Repeated frames from one spot must agree exactly, and a moved
+// transmitter must be reflected immediately (a stale distance would
+// corrupt location inference).
+func TestReceiverRSSITracksPosition(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	medium := radio.NewMedium(clock, radio.Params{})
+	var got []Reception
+	r := New(medium, Config{Name: "rx", Position: geo.Pt(0, 0), Radius: 100}, func(rc Reception) {
+		got = append(got, rc)
+	})
+	r.Start()
+	defer r.Stop()
+
+	for seq := 0; seq < 3; seq++ { // static: repeated frames, one position
+		broadcastMsg(t, medium, geo.Pt(30, 40), wire.Message{Stream: wire.MustStreamID(1, 0), Seq: wire.Seq(seq)})
+		clock.RunAll()
+	}
+	broadcastMsg(t, medium, geo.Pt(60, 80), wire.Message{Stream: wire.MustStreamID(1, 0), Seq: 3}) // moved
+	clock.RunAll()
+
+	if len(got) != 4 {
+		t.Fatalf("receptions = %d, want 4", len(got))
+	}
+	for i := 0; i < 3; i++ { // distance 50 of radius 100 → 0.5
+		if rssi := got[i].RSSI; rssi < 0.49 || rssi > 0.51 {
+			t.Fatalf("frame %d RSSI = %v, want ≈0.5", i, rssi)
+		}
+	}
+	if rssi := got[3].RSSI; rssi > 0.01 { // distance 100 = zone edge → floor
+		t.Fatalf("moved-transmitter RSSI = %v, want the 0.01 floor (cache must not serve the old position)", rssi)
+	}
+}
+
+// TestReceiverBorrowedReception: receptions are flagged Borrowed and the
+// payload is intact for the duration of the sink call — the receiver
+// releases the frame buffer only after the sink returns.
+func TestReceiverBorrowedReception(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	medium := radio.NewMedium(clock, radio.Params{})
+	var payloads []string
+	var borrowed []bool
+	r := New(medium, Config{Name: "rx", Position: geo.Pt(0, 0), Radius: 100}, func(rc Reception) {
+		payloads = append(payloads, string(rc.Msg.Payload)) // copy while valid
+		borrowed = append(borrowed, rc.Borrowed)
+	})
+	r.Start()
+	defer r.Stop()
+
+	for seq := 0; seq < 8; seq++ {
+		broadcastMsg(t, medium, geo.Pt(1, 0), wire.Message{
+			Stream: wire.MustStreamID(1, 0), Seq: wire.Seq(seq),
+			Payload: []byte{byte('a' + seq)},
+		})
+		clock.RunAll() // delivery recycles pooled buffers between frames
+	}
+	if len(payloads) != 8 {
+		t.Fatalf("receptions = %d, want 8", len(payloads))
+	}
+	for i, p := range payloads {
+		if want := string(byte('a' + i)); p != want {
+			t.Fatalf("frame %d payload = %q, want %q (pooled buffer corrupted)", i, p, want)
+		}
+		if !borrowed[i] {
+			t.Fatalf("frame %d not marked Borrowed", i)
+		}
+	}
+}
+
 func TestReceiverOutOfZoneHearsNothing(t *testing.T) {
 	clock := sim.NewVirtualClock(epoch)
 	medium := radio.NewMedium(clock, radio.Params{})

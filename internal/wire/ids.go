@@ -71,6 +71,18 @@ func MustStreamID(sensor SensorID, index StreamIndex) StreamID {
 	return id
 }
 
+// Shard maps the sensor id to a partition in [0, n) with the 32-bit
+// Fibonacci multiplier (2^32/φ): sensor ids are often small and
+// sequential, and the multiply-shift spreads them uniformly even for
+// power-of-two shard counts. Both the Filtering and the Dispatching
+// Service partition their per-stream state with this single function, so
+// a stream contends on at most one ingest lock and one dispatch lock end
+// to end — keep it the one source of truth for state partitioning.
+func (id SensorID) Shard(n int) int {
+	h := uint32(id) * 0x9e3779b9
+	return int((uint64(h) * uint64(n)) >> 32)
+}
+
 // Sensor returns the 24-bit sensor component of the id.
 func (id StreamID) Sensor() SensorID { return SensorID(id >> 8) }
 

@@ -62,29 +62,28 @@ const (
 // Has reports whether every bit of g is set in f.
 func (f Flags) Has(g Flags) bool { return f&g == g }
 
+// flagNames[i] names bit 1<<i. The internal reserved bit is deliberately
+// absent: it is not part of the public flag vocabulary and frames carrying
+// it never decode, so user-facing output omits it.
+var flagNames = [...]string{"ack", "relayed", "fused", "encrypted", "locaware"}
+
 // String lists the set flags, e.g. "ack|relayed".
 func (f Flags) String() string {
+	f &= flagsMask &^ flagReserved
 	if f == 0 {
 		return "none"
 	}
-	names := []struct {
-		bit  Flags
-		name string
-	}{
-		{FlagUpdateAck, "ack"},
-		{FlagRelayed, "relayed"},
-		{FlagFused, "fused"},
-		{FlagEncrypted, "encrypted"},
-		{FlagLocationAware, "locaware"},
-		{flagReserved, "reserved"},
-	}
-	var parts []string
-	for _, n := range names {
-		if f.Has(n.bit) {
-			parts = append(parts, n.name)
+	var b strings.Builder
+	b.Grow(len("ack|relayed|fused|encrypted|locaware")) // the all-flags case
+	for i, name := range flagNames {
+		if f&(1<<i) != 0 {
+			if b.Len() > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(name)
 		}
 	}
-	return strings.Join(parts, "|")
+	return b.String()
 }
 
 // Codec errors.
@@ -169,58 +168,105 @@ func (m *Message) Encode() ([]byte, error) {
 // the message, the number of bytes consumed, and any validation error.
 // The returned Message owns a copy of the payload, so b may be reused.
 func DecodeMessage(b []byte) (Message, int, error) {
+	var m Message
+	n, err := decodeInto(b, &m, false)
+	if err != nil {
+		return Message{}, 0, err
+	}
+	return m, n, nil
+}
+
+// DecodeMessageInto decodes one data message from the front of b into *m,
+// returning the number of bytes consumed. The payload is copied into
+// m.Payload, reusing its backing array when the capacity suffices — a
+// caller that recycles the same Message across frames decodes without
+// allocating once the payload buffer has grown to the working-set size.
+// On error *m is left in an unspecified state.
+//
+// Because the backing array is reused unconditionally, never pass a
+// Message last filled by DecodeMessageBorrowed: its payload aliases a
+// frame buffer this call would scribble into. Set m.Payload = nil first
+// when switching a Message from borrow-mode to copy-mode decoding.
+func DecodeMessageInto(b []byte, m *Message) (int, error) {
+	return decodeInto(b, m, false)
+}
+
+// DecodeMessageBorrowed decodes like DecodeMessageInto but aliases the
+// frame instead of copying: m.Payload points directly into b. It never
+// allocates.
+//
+// Lifetime rule: the message is only valid while b is. A caller that
+// reuses or releases the frame buffer (e.g. back to a pool) must first
+// either drop the message or detach the payload with an explicit copy;
+// handing a borrowed Message to code that retains it (queues, backlogs)
+// without detaching corrupts the payload silently.
+func DecodeMessageBorrowed(b []byte, m *Message) (int, error) {
+	return decodeInto(b, m, true)
+}
+
+func decodeInto(b []byte, m *Message, borrow bool) (int, error) {
 	if len(b) < HeaderSize+ChecksumSize {
-		return Message{}, 0, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+		return 0, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
 	}
 	hdr := b[offHeader]
 	version := hdr >> 6
 	if version != Version {
-		return Message{}, 0, fmt.Errorf("%w: got %d, want %d", ErrVersion, version, Version)
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrVersion, version, Version)
 	}
 	flags := Flags(hdr) & flagsMask
 	if flags.Has(flagReserved) {
-		return Message{}, 0, ErrReservedFlags
+		return 0, ErrReservedFlags
 	}
-	m := Message{
-		Flags:  flags,
-		Stream: StreamID(binary.BigEndian.Uint32(b[offStreamID:])),
-		Seq:    Seq(binary.BigEndian.Uint16(b[offSeq:])),
-	}
+	m.Flags = flags
+	m.Stream = StreamID(binary.BigEndian.Uint32(b[offStreamID:]))
+	m.Seq = Seq(binary.BigEndian.Uint16(b[offSeq:]))
+	m.AckID, m.HopCount, m.FusedCount = 0, 0, 0
 	payloadLen := int(binary.BigEndian.Uint16(b[offPayloadSize:]))
 	off := HeaderSize
 	if flags.Has(FlagUpdateAck) {
 		if len(b) < off+2 {
-			return Message{}, 0, ErrTruncated
+			return 0, ErrTruncated
 		}
 		m.AckID = binary.BigEndian.Uint16(b[off:])
 		off += 2
 	}
 	if flags.Has(FlagRelayed) {
 		if len(b) < off+1 {
-			return Message{}, 0, ErrTruncated
+			return 0, ErrTruncated
 		}
 		m.HopCount = b[off]
 		off++
 	}
 	if flags.Has(FlagFused) {
 		if len(b) < off+1 {
-			return Message{}, 0, ErrTruncated
+			return 0, ErrTruncated
 		}
 		m.FusedCount = b[off]
 		off++
 	}
 	total := off + payloadLen + ChecksumSize
 	if len(b) < total {
-		return Message{}, 0, fmt.Errorf("%w: need %d bytes, have %d", ErrTruncated, total, len(b))
+		return 0, fmt.Errorf("%w: need %d bytes, have %d", ErrTruncated, total, len(b))
 	}
 	body := b[:total-ChecksumSize]
 	want := binary.BigEndian.Uint16(b[total-ChecksumSize:])
 	if got := Fletcher16(body); got != want {
-		return Message{}, 0, fmt.Errorf("%w: computed %#04x, frame carries %#04x", ErrChecksum, got, want)
+		return 0, fmt.Errorf("%w: computed %#04x, frame carries %#04x", ErrChecksum, got, want)
 	}
-	if payloadLen > 0 {
-		m.Payload = make([]byte, payloadLen)
-		copy(m.Payload, b[off:off+payloadLen])
+	switch {
+	case borrow:
+		if payloadLen == 0 {
+			m.Payload = nil // never retain an alias, even an empty one
+		} else {
+			m.Payload = b[off : off+payloadLen : off+payloadLen]
+		}
+	default:
+		// Truncate-and-append keeps a grown destination buffer across
+		// frames, including empty-payload ones, so interleaved heartbeat
+		// and data frames stay allocation-free. A fresh Message decodes
+		// an empty payload to nil (slicing nil yields nil), matching
+		// DecodeMessage's historical behaviour.
+		m.Payload = append(m.Payload[:0], b[off:off+payloadLen]...)
 	}
-	return m, total, nil
+	return total, nil
 }

@@ -292,3 +292,49 @@ func TestWithDispatchShardsAndBatchSize(t *testing.T) {
 		t.Fatalf("Stats.Dispatch.Shards = %d, want 4", shards)
 	}
 }
+
+func TestWithFilterShards(t *testing.T) {
+	run := func(shards int, opts ...garnet.Option) garnet.Snapshot {
+		clock := garnet.NewVirtualClock(epoch)
+		opts = append([]garnet.Option{garnet.WithClock(clock), garnet.WithSecret([]byte("s"))}, opts...)
+		g := garnet.New(opts...)
+		defer g.Stop()
+		// Two overlapping receivers duplicate every transmission; the
+		// filter must reconstruct each stream regardless of sharding.
+		g.AddReceiver(garnet.ReceiverConfig{Position: garnet.Pt(0, 0), Radius: 100})
+		g.AddReceiver(garnet.ReceiverConfig{Position: garnet.Pt(1, 0), Radius: 100})
+		for id := garnet.SensorID(1); id <= 3; id++ {
+			if _, err := g.AddSensor(garnet.SensorConfig{
+				ID: id, Mobility: garnet.Static{P: garnet.Pt(float64(id), 0)}, TxRange: 100,
+				Streams: []garnet.StreamConfig{{
+					Index: 0, Sampler: garnet.SizedSampler(4), Period: time.Second, Enabled: true,
+				}},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g.Start()
+		clock.Advance(10 * time.Second)
+		g.Stop()
+		st := g.Stats()
+		if st.Filter.Shards != shards {
+			t.Fatalf("Stats.Filter.Shards = %d, want %d", st.Filter.Shards, shards)
+		}
+		return st
+	}
+	sharded := run(4, garnet.WithFilterShards(4))
+	single := run(1, garnet.WithFilterShards(1))
+	// Same deployment, same virtual schedule: the sharded filter must
+	// make identical accept/duplicate decisions to the single table.
+	if sharded.Filter.Delivered != single.Filter.Delivered ||
+		sharded.Filter.Duplicates != single.Filter.Duplicates ||
+		sharded.Filter.Received != single.Filter.Received {
+		t.Fatalf("sharded filter stats %+v diverge from single-table %+v", sharded.Filter, single.Filter)
+	}
+	if sharded.Filter.Delivered != 30 { // 3 sensors × 10 ticks
+		t.Fatalf("Delivered = %d, want 30", sharded.Filter.Delivered)
+	}
+	if sharded.Filter.Duplicates != 30 { // second overlapping receiver
+		t.Fatalf("Duplicates = %d, want 30", sharded.Filter.Duplicates)
+	}
+}
