@@ -9,6 +9,7 @@ package garnet_test
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -18,6 +19,8 @@ import (
 	"github.com/garnet-middleware/garnet/internal/dispatch"
 	"github.com/garnet-middleware/garnet/internal/experiments"
 	"github.com/garnet-middleware/garnet/internal/filtering"
+	"github.com/garnet-middleware/garnet/internal/geo"
+	"github.com/garnet-middleware/garnet/internal/radio"
 	"github.com/garnet-middleware/garnet/internal/receiver"
 	"github.com/garnet-middleware/garnet/internal/security"
 	"github.com/garnet-middleware/garnet/internal/wire"
@@ -450,12 +453,76 @@ func BenchmarkAblationDispatchMode(b *testing.B) {
 	}
 }
 
+// BenchmarkRadioBroadcast measures one uplink broadcast (decision +
+// delivery + drain) against a growing receiver array at two densities.
+// overlap=local keeps the array spread out so a broadcast reaches ~1-2
+// receivers regardless of how many are attached: with the spatial index
+// the cost must stay flat as receivers grow 16× (cost tracks *reached*,
+// not *attached*, listeners) and the delivery path must run at 0
+// steady-state allocs. overlap=full packs every receiver inside range —
+// the cost there legitimately scales with N because N copies are
+// delivered.
+func BenchmarkRadioBroadcast(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		for _, overlap := range []string{"local", "full"} {
+			b.Run(fmt.Sprintf("receivers=%d/overlap=%s", n, overlap), func(b *testing.B) {
+				const radius = 100.0
+				clock := garnet.NewVirtualClock(time.Unix(0, 0))
+				m := radio.NewMedium(clock, radio.Params{Seed: 42})
+				side := int(math.Ceil(math.Sqrt(float64(n))))
+				spacing := 2.5 * radius // local: only the nearest zone covers a point
+				if overlap == "full" {
+					spacing = radius / float64(side) // full: everyone covers everything
+				}
+				delivered := 0
+				for i := 0; i < n; i++ {
+					pos := geo.Pt(float64(i%side)*spacing, float64(i/side)*spacing)
+					m.Attach(radio.BandUplink, &radio.Listener{
+						Name:     fmt.Sprintf("rx%d", i),
+						Position: func() geo.Point { return pos },
+						Radius:   radius,
+						Static:   true,
+						Deliver: func(f radio.Frame) {
+							delivered++
+							f.Release()
+						},
+					})
+				}
+				payload := make([]byte, 24)
+				// Just beside a middle receiver: local reaches exactly its
+				// nearest zone(s); full reaches everyone.
+				mid := float64(side/2) * spacing
+				from := geo.Pt(mid+10, mid)
+				// Warm the scratch/lease/event pools before measuring.
+				for i := 0; i < 16; i++ {
+					m.Broadcast(radio.BandUplink, from, radius, payload)
+					clock.RunAll()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Broadcast(radio.BandUplink, from, radius, payload)
+					clock.RunAll()
+				}
+				b.StopTimer()
+				if delivered == 0 {
+					b.Fatal("broadcasts reached nobody")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkE13ShardedDispatch regenerates the dispatch-sharding table.
 func BenchmarkE13ShardedDispatch(b *testing.B) { benchExperiment(b, "E13") }
 
 // BenchmarkE14ShardedIngest regenerates the filter-sharding table (the
 // full receive → filter → dispatch pipeline under concurrent receivers).
 func BenchmarkE14ShardedIngest(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15DenseFieldBroadcast regenerates the dense-field broadcast
+// table (data + control traffic against a growing receiver lattice).
+func BenchmarkE15DenseFieldBroadcast(b *testing.B) { benchExperiment(b, "E15") }
 
 // BenchmarkX1MultiHopRelaying regenerates the §8 extension table.
 func BenchmarkX1MultiHopRelaying(b *testing.B) { benchExperiment(b, "X1") }

@@ -74,6 +74,18 @@ func WithRadio(p RadioParams) Option {
 	return func(cfg *core.Config) { cfg.Radio = p }
 }
 
+// WithFieldGrid sets the cell edge length (metres) of the medium's
+// spatial index, which makes a broadcast cost proportional to the
+// listeners it actually reaches rather than everything attached. The
+// default (0) sizes cells from the first listener's reception radius on
+// each band; dense deployments mixing very different zone radii should
+// set this near the dominant radius (see README, "Field density & grid
+// tuning"). Compose with WithRadio by applying WithFieldGrid second, or
+// set RadioParams.GridCell directly.
+func WithFieldGrid(cellSize float64) Option {
+	return func(cfg *core.Config) { cfg.Radio.GridCell = cellSize }
+}
+
 // WithPolicy selects the Resource Manager's conflict-mediation policy.
 func WithPolicy(p Policy) Option {
 	return func(cfg *core.Config) { cfg.Policy = p }

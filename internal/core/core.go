@@ -48,7 +48,10 @@ import (
 // real clock, perfect radio, synchronous dispatch, most-demanding
 // mediation.
 type Config struct {
-	Clock       sim.Clock
+	Clock sim.Clock
+	// Radio configures medium impairments and the medium's spatial index
+	// (Radio.GridCell; the garnet.WithFieldGrid facade option threads it
+	// here).
 	Radio       radio.Params
 	Filter      filtering.Options
 	Dispatch    dispatch.Options

@@ -127,6 +127,7 @@ func All() []Experiment {
 		{"E12", "Return-path value vs transmit-only fields (§2)", runE12},
 		{"E13", "Sharded dispatch under concurrent publishers", runE13},
 		{"E14", "Sharded filter ingest under concurrent receivers", runE14},
+		{"E15", "Dense-field broadcast: cost vs attached receivers", runE15},
 		{"X1", "Multi-hop relaying — §8 future-work extension", runX1},
 	}
 }

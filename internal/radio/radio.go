@@ -12,13 +12,20 @@
 // model the unreliable channel. Uplink (sensor → receivers) and downlink
 // (transmitters → sensors) are separate bands.
 //
-// All randomness comes from a seeded PCG stream and all scheduling from a
-// sim.Clock, so a run is reproducible bit-for-bit.
+// Listeners are held in a uniform-grid spatial index (geo.Grid) keyed by
+// their coverage circles, so a broadcast that reaches k of N attached
+// listeners costs O(cells + k), not O(N): static listeners (the receiver
+// array) index once at Attach; mobile listeners (roaming sensors) are
+// lazily re-bucketed by a position check at broadcast time. All
+// randomness is derived per delivery from (medium seed, broadcast
+// counter, listener id) and all scheduling comes from a sim.Clock, so a
+// run is reproducible bit-for-bit regardless of the order the index
+// yields candidates in.
 package radio
 
 import (
-	"math/rand/v2"
-	"sort"
+	"math"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -131,6 +138,13 @@ type Listener struct {
 	Position func() geo.Point
 	Radius   float64
 	Deliver  func(Frame)
+	// Static promises that Position never changes after Attach. Static
+	// listeners — the fixed receiver array above all — are indexed once
+	// and never position-checked again, so broadcasts cost O(listeners
+	// actually nearby). Leave false for anything that moves: the medium
+	// then re-reads Position on every broadcast on the band and
+	// re-buckets the listener when it has drifted.
+	Static bool
 }
 
 // Params configures medium impairments. The zero value is a perfect,
@@ -146,6 +160,13 @@ type Params struct {
 	DelayMin, DelayMax time.Duration
 	// Seed seeds the medium's private random stream.
 	Seed uint64
+	// GridCell is the cell edge length (metres) of the spatial index
+	// holding the listeners. Zero picks a default from the first
+	// listener's reception radius on each band, which suits fields whose
+	// zones are of roughly one scale; deployments mixing very different
+	// radii should set it near the dominant radius (see the README's
+	// field-density notes).
+	GridCell float64
 }
 
 // Metrics counts medium activity. Read with atomic-safe Value calls.
@@ -157,15 +178,40 @@ type Metrics struct {
 	OutOfRange metrics.Counter // broadcasts that reached zero listeners
 }
 
+// listenerEntry is one attached listener plus its index bookkeeping.
+type listenerEntry struct {
+	id  int
+	l   *Listener
+	pos geo.Point // the position the band grid currently has it bucketed at
+}
+
+// bandState indexes one band's listeners.
+type bandState struct {
+	grid   *geo.Grid        // coverage circles; created at first Attach
+	order  []*listenerEntry // attach order (reference scans, Listeners)
+	mobile []*listenerEntry // attach-ordered subset with Static unset
+}
+
 // Medium is the simulated shared wireless channel.
 type Medium struct {
 	clock  sim.Clock
+	sched  func(time.Duration, func()) // fire-and-forget scheduling
 	params Params
+	seed   uint64 // base for per-delivery stream derivation
 
-	mu        sync.Mutex
-	rng       *rand.Rand
-	listeners [bandCount]map[int]*Listener
-	nextID    int
+	mu      sync.Mutex
+	bands   [bandCount]bandState
+	byID    []*listenerEntry // dense lookup by listener id; nil = detached
+	freeIDs []int            // detached ids, reused so byID stays bounded by peak attachment
+	nextID  int
+	bcast   uint64 // broadcasts offered so far, keys per-delivery randomness
+
+	// linearScan bypasses the spatial index and scans every listener in
+	// attach order — the reference implementation the grid is
+	// differentially tested against (outcomes must match bit-for-bit
+	// because per-delivery randomness is iteration-order-independent).
+	// Test-only; never set in production paths.
+	linearScan bool
 
 	metrics Metrics
 }
@@ -179,12 +225,27 @@ func NewMedium(clock sim.Clock, p Params) *Medium {
 	m := &Medium{
 		clock:  clock,
 		params: p,
-		rng:    sim.NewRand(sim.SubSeed(p.Seed, "radio.medium")),
+		seed:   sim.SubSeed(p.Seed, "radio.medium"),
 	}
-	for i := range m.listeners {
-		m.listeners[i] = make(map[int]*Listener)
+	if s, ok := clock.(sim.Scheduler); ok {
+		m.sched = s.ScheduleFunc
+	} else {
+		m.sched = func(d time.Duration, f func()) { clock.AfterFunc(d, f) }
 	}
 	return m
+}
+
+// gridCellFor picks the cell size for a band's index: the configured
+// GridCell, or the first listener's radius (a circle then spans ~9
+// cells and a point query scans one small bucket).
+func (m *Medium) gridCellFor(l *Listener) float64 {
+	if m.params.GridCell > 0 {
+		return m.params.GridCell
+	}
+	if l.Radius > 0 && !math.IsInf(l.Radius, 1) {
+		return l.Radius
+	}
+	return 1
 }
 
 // Attach registers a listener on a band and returns a function that
@@ -199,17 +260,108 @@ func (m *Medium) Attach(band Band, l *Listener) (detach func()) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	id := m.nextID
-	m.nextID++
-	m.listeners[band-1][id] = l
+	var id int
+	if n := len(m.freeIDs); n > 0 {
+		// Reuse a detached id so byID stays bounded by the peak attachment
+		// count under attach/detach churn. Safe for reproducibility: id
+		// assignment is a pure function of the attach/detach sequence, and
+		// per-delivery randomness also keys on the broadcast counter.
+		id = m.freeIDs[n-1]
+		m.freeIDs = m.freeIDs[:n-1]
+	} else {
+		id = m.nextID
+		m.nextID++
+		m.byID = append(m.byID, nil) // id == len(byID)-1
+	}
+	bs := &m.bands[band-1]
+	e := &listenerEntry{id: id, l: l, pos: l.Position()}
+	if bs.grid == nil {
+		bs.grid = geo.NewGrid(m.gridCellFor(l))
+	}
+	bs.grid.Insert(id, geo.Circle{Center: e.pos, R: l.Radius})
+	bs.order = append(bs.order, e)
+	if !l.Static {
+		bs.mobile = append(bs.mobile, e)
+	}
+	m.byID[id] = e
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			m.mu.Lock()
 			defer m.mu.Unlock()
-			delete(m.listeners[band-1], id)
+			bs.grid.Remove(id)
+			m.byID[id] = nil
+			m.freeIDs = append(m.freeIDs, id)
+			bs.order = removeEntry(bs.order, e)
+			if !l.Static {
+				bs.mobile = removeEntry(bs.mobile, e)
+			}
 		})
 	}
+}
+
+// removeEntry deletes e from s preserving order (clearing the vacated
+// tail slot so the slice does not retain the listener).
+func removeEntry(s []*listenerEntry, e *listenerEntry) []*listenerEntry {
+	if i := slices.Index(s, e); i >= 0 {
+		return slices.Delete(s, i, i+1)
+	}
+	return s
+}
+
+// delivery is one scheduled copy, decided under the medium lock and
+// dispatched outside it.
+type delivery struct {
+	l       *Listener
+	delay   time.Duration
+	distSq  float64
+	corrupt bool
+	flipPos int
+	flipBit byte
+}
+
+// bcastScratch is the pooled per-broadcast working set: candidate ids
+// from the grid query plus the decided deliveries. Pooling it keeps the
+// whole broadcast path allocation-free at steady state.
+type bcastScratch struct {
+	ids        []int
+	deliveries []delivery
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &bcastScratch{ids: make([]int, 0, 64), deliveries: make([]delivery, 0, 64)}
+}}
+
+// pendingDelivery carries one copy from the decision under the lock to
+// its clock-scheduled hand-off. The fire closure is bound once per
+// pooled object, so scheduling a delivery allocates nothing.
+type pendingDelivery struct {
+	m      *Medium
+	l      *Listener
+	lease  *frameLease
+	from   geo.Point
+	distSq float64
+	fire   func()
+}
+
+var pdPool sync.Pool
+
+func init() {
+	// Assigned in init: the New hook references run, which references
+	// pdPool — a package-level literal would be an initialization cycle.
+	pdPool.New = func() any {
+		pd := new(pendingDelivery)
+		pd.fire = pd.run
+		return pd
+	}
+}
+
+func (pd *pendingDelivery) run() {
+	m, l, lease, from, distSq := pd.m, pd.l, pd.lease, pd.from, pd.distSq
+	pd.m, pd.l, pd.lease = nil, nil, nil
+	pdPool.Put(pd) // locals are copied; safe even if Deliver re-broadcasts
+	m.metrics.Deliveries.Inc()
+	l.Deliver(Frame{Data: lease.buf, From: from, At: m.clock.Now(), DistSq: distSq, lease: lease})
 }
 
 // Broadcast offers a frame to the medium from a transmit position with a
@@ -217,77 +369,98 @@ func (m *Medium) Attach(band Band, l *Listener) (detach func()) {
 // transmitter and that sits within txRange receives an independent copy,
 // subject to loss, delay and corruption. The data slice is copied
 // immediately; the caller may reuse it.
+//
+// Cost is O(mobile listeners + grid cells + listeners reached): only the
+// spatial-index candidates are distance-checked, and each candidate's
+// loss/jitter/corruption comes from its own derived stream, so no global
+// RNG serialises concurrent broadcasts.
 func (m *Medium) Broadcast(band Band, from geo.Point, txRange float64, data []byte) {
 	m.metrics.Broadcasts.Inc()
+	sc := scratchPool.Get().(*bcastScratch)
+	sc.ids = sc.ids[:0]
+	sc.deliveries = sc.deliveries[:0]
 
 	m.mu.Lock()
+	m.bcast++
+	bcast := m.bcast
+	bs := &m.bands[band-1]
+	// Lazily re-bucket mobile listeners: position functions are live (a
+	// sensor roams between broadcasts), so each mobile listener gets one
+	// position check per broadcast and a grid move only when it drifted.
+	for _, e := range bs.mobile {
+		if pos := e.l.Position(); pos != e.pos {
+			bs.grid.Move(e.id, geo.Circle{Center: pos, R: e.l.Radius})
+			e.pos = pos
+		}
+	}
 	reached := 0
-	type delivery struct {
-		l       *Listener
-		delay   time.Duration
-		distSq  float64
-		corrupt bool
-		flipPos int
-		flipBit byte
+	txRangeSq := txRange * txRange
+	if bs.grid != nil {
+		if m.linearScan {
+			for _, e := range bs.order {
+				sc.ids = append(sc.ids, e.id)
+			}
+		} else {
+			sc.ids = bs.grid.AppendCovering(sc.ids, from)
+			// Canonical scheduling order: grid bucketing details (cell
+			// size, overflow list, mobility re-bucket history) must never
+			// leak into the order equal-time deliveries fire in, so the
+			// candidate walk is pinned to ascending id. Grid cell size
+			// stays a pure performance knob.
+			slices.Sort(sc.ids)
+		}
 	}
-	var deliveries []delivery
-	// Iterate in attach order (not map order) so the per-delivery random
-	// draws are reproducible across runs with the same seed.
-	ids := make([]int, 0, len(m.listeners[band-1]))
-	for id := range m.listeners[band-1] {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		l := m.listeners[band-1][id]
-		pos := l.Position()
-		d2 := from.DistSq(pos)
-		if d2 > txRange*txRange || d2 > l.Radius*l.Radius {
+	for _, id := range sc.ids {
+		e := m.byID[id]
+		d2 := from.DistSq(e.pos)
+		if d2 > txRangeSq || d2 > e.l.Radius*e.l.Radius {
 			continue
 		}
 		reached++
-		if m.params.LossProb > 0 && m.rng.Float64() < m.params.LossProb {
+		rng := newDeliveryRand(m.seed, bcast, e.id)
+		if m.params.LossProb > 0 && rng.float64() < m.params.LossProb {
 			m.metrics.Lost.Inc()
 			continue
 		}
-		dv := delivery{l: l, delay: m.params.DelayMin, distSq: d2}
+		dv := delivery{l: e.l, delay: m.params.DelayMin, distSq: d2}
 		if jitter := m.params.DelayMax - m.params.DelayMin; jitter > 0 {
-			dv.delay += time.Duration(m.rng.Int64N(int64(jitter) + 1))
+			dv.delay += time.Duration(rng.int64n(int64(jitter) + 1))
 		}
-		if m.params.CorruptProb > 0 && m.rng.Float64() < m.params.CorruptProb && len(data) > 0 {
+		if m.params.CorruptProb > 0 && rng.float64() < m.params.CorruptProb && len(data) > 0 {
 			dv.corrupt = true
-			dv.flipPos = m.rng.IntN(len(data))
-			dv.flipBit = byte(1 << m.rng.UintN(8))
+			dv.flipPos = rng.intn(len(data))
+			dv.flipBit = byte(1) << rng.intn(8)
 		}
-		deliveries = append(deliveries, dv)
+		sc.deliveries = append(sc.deliveries, dv)
 	}
 	m.mu.Unlock()
 
 	if reached == 0 {
 		m.metrics.OutOfRange.Inc()
-		return
 	}
-	for _, dv := range deliveries {
+	for i := range sc.deliveries {
+		dv := &sc.deliveries[i]
 		lease := leaseFrameBuf(len(data))
-		buf := lease.buf
-		copy(buf, data)
+		copy(lease.buf, data)
 		if dv.corrupt {
-			buf[dv.flipPos] ^= dv.flipBit
+			lease.buf[dv.flipPos] ^= dv.flipBit
 			m.metrics.Corrupted.Inc()
 		}
-		l := dv.l
-		m.clock.AfterFunc(dv.delay, func() {
-			m.metrics.Deliveries.Inc()
-			l.Deliver(Frame{Data: buf, From: from, At: m.clock.Now(), DistSq: dv.distSq, lease: lease})
-		})
+		pd := pdPool.Get().(*pendingDelivery)
+		pd.m, pd.l, pd.lease, pd.from, pd.distSq = m, dv.l, lease, from, dv.distSq
+		m.sched(dv.delay, pd.fire)
 	}
+	for i := range sc.deliveries {
+		sc.deliveries[i] = delivery{} // drop listener references before pooling
+	}
+	scratchPool.Put(sc)
 }
 
 // Listeners returns the number of listeners attached to a band.
 func (m *Medium) Listeners(band Band) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.listeners[band-1])
+	return len(m.bands[band-1].order)
 }
 
 // Metrics exposes the medium's counters.

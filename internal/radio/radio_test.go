@@ -321,6 +321,73 @@ func TestMetricsAccounting(t *testing.T) {
 	}
 }
 
+// TestLossAccountingCountsLostTowardReached pins the accounting
+// contract: a frame that reaches listeners but loses every copy is NOT
+// out-of-range — the loss process consumed it. OutOfRange strictly means
+// "nobody's zone covered the transmitter".
+func TestLossAccountingCountsLostTowardReached(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	m := NewMedium(clock, Params{LossProb: 1, Seed: 5})
+	var c collector
+	for _, p := range []geo.Point{geo.Pt(1, 0), geo.Pt(0, 1), geo.Pt(-1, 0)} {
+		m.Attach(BandUplink, &Listener{Name: "rx", Position: fixed(p), Radius: 100, Deliver: c.deliver})
+	}
+	// In range of all three listeners; every copy lost.
+	m.Broadcast(BandUplink, geo.Pt(0, 0), 100, []byte("doomed"))
+	// In range of nobody.
+	m.Broadcast(BandUplink, geo.Pt(5000, 5000), 10, []byte("nowhere"))
+	clock.RunAll()
+
+	met := m.Metrics()
+	if got, want := met.Broadcasts.Value(), int64(2); got != want {
+		t.Errorf("Broadcasts = %d, want %d", got, want)
+	}
+	if got, want := met.Lost.Value(), int64(3); got != want {
+		t.Errorf("Lost = %d, want %d (one per reached listener)", got, want)
+	}
+	if got, want := met.Deliveries.Value(), int64(0); got != want {
+		t.Errorf("Deliveries = %d, want %d", got, want)
+	}
+	if got, want := met.OutOfRange.Value(), int64(1); got != want {
+		t.Errorf("OutOfRange = %d, want %d (total loss is not out-of-range)", got, want)
+	}
+	if c.count() != 0 {
+		t.Errorf("delivered %d frames, want 0", c.count())
+	}
+}
+
+// TestZeroLengthPayloadSkipsCorruption pins the corruption edge case: a
+// zero-length payload has no byte to flip, so even CorruptProb=1
+// delivers it unflipped and the Corrupted counter stays at zero.
+func TestZeroLengthPayloadSkipsCorruption(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	m := NewMedium(clock, Params{CorruptProb: 1, Seed: 5})
+	var c collector
+	m.Attach(BandUplink, &Listener{Name: "rx", Position: fixed(geo.Pt(0, 0)), Radius: 100, Deliver: c.deliver})
+
+	m.Broadcast(BandUplink, geo.Pt(1, 0), 100, nil)             // nothing to corrupt
+	m.Broadcast(BandUplink, geo.Pt(1, 0), 100, []byte{0xAB})    // corrupted
+	m.Broadcast(BandUplink, geo.Pt(1, 0), 100, []byte("hello")) // corrupted
+	clock.RunAll()
+
+	met := m.Metrics()
+	if got, want := met.Deliveries.Value(), int64(3); got != want {
+		t.Errorf("Deliveries = %d, want %d", got, want)
+	}
+	if got, want := met.Corrupted.Value(), int64(2); got != want {
+		t.Errorf("Corrupted = %d, want %d (empty payload must not count)", got, want)
+	}
+	if len(c.frames[0].Data) != 0 {
+		t.Errorf("empty payload delivered as %q", c.frames[0].Data)
+	}
+	if c.frames[1].Data[0] == 0xAB {
+		t.Error("CorruptProb=1 delivered an unflipped byte")
+	}
+	if met.Lost.Value() != 0 || met.OutOfRange.Value() != 0 {
+		t.Errorf("Lost = %d, OutOfRange = %d, want 0 and 0", met.Lost.Value(), met.OutOfRange.Value())
+	}
+}
+
 func TestDeterministicReplay(t *testing.T) {
 	run := func() []int {
 		clock := sim.NewVirtualClock(epoch)

@@ -1,0 +1,59 @@
+package radio
+
+import "math/bits"
+
+// deliveryRand is the per-delivery random stream. The medium used to
+// draw loss/jitter/corruption for every delivery from one shared PCG in
+// listener-attach order, which serialised all broadcasts on the RNG
+// mutex and welded delivery outcomes to the iteration order. Instead,
+// each delivery's stream is derived purely from
+//
+//	(medium seed, broadcast counter, listener id)
+//
+// so the outcome for a given listener on a given broadcast is the same
+// no matter which order — grid cell order, attach order, or anything
+// else — the candidate set is walked in, and no state is shared between
+// deliveries. The generator is splitmix64: 64-bit state, one multiply
+// chain per draw, passes the statistical scrutiny a channel simulation
+// needs.
+type deliveryRand struct{ state uint64 }
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// newDeliveryRand keys a stream off the (seed, broadcast, listener)
+// triple. The three inputs pass through the finalizer separately so that
+// nearby counters and ids yield unrelated streams.
+func newDeliveryRand(seed, bcast uint64, id int) deliveryRand {
+	return deliveryRand{state: mix64(seed ^ mix64(bcast^0x9E3779B97F4A7C15) ^ mix64(uint64(id)^0xD6E8FEB86659FD93))}
+}
+
+func (r *deliveryRand) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	return mix64(r.state)
+}
+
+// float64 draws uniformly from [0, 1).
+func (r *deliveryRand) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// uint64n draws uniformly from [0, n) via the multiply-shift reduction.
+func (r *deliveryRand) uint64n(n uint64) uint64 {
+	hi, _ := bits.Mul64(r.next(), n)
+	return hi
+}
+
+// int64n draws uniformly from [0, n); n must be positive.
+func (r *deliveryRand) int64n(n int64) int64 {
+	return int64(r.uint64n(uint64(n)))
+}
+
+// intn draws uniformly from [0, n); n must be positive.
+func (r *deliveryRand) intn(n int) int {
+	return int(r.uint64n(uint64(n)))
+}

@@ -100,6 +100,10 @@ func (r *Receiver) Start() {
 		Position: func() geo.Point { return r.cfg.Position },
 		Radius:   r.cfg.Radius,
 		Deliver:  r.onFrame,
+		// Receivers are fixed infrastructure: the medium indexes the
+		// reception zone once and never position-checks it again, so a
+		// dense array costs a broadcast only the receivers it reaches.
+		Static: true,
 	})
 }
 

@@ -14,6 +14,7 @@ package replicator
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"github.com/garnet-middleware/garnet/internal/geo"
 	"github.com/garnet-middleware/garnet/internal/location"
@@ -48,19 +49,36 @@ type Stats struct {
 	Broadcasts int64 // transmitter broadcasts used in total
 }
 
+// txSnapshot is an immutable view of the transmitter array: the attach-
+// ordered slice plus a spatial index of the coverage circles (grid ids
+// are indices into txs). Attach replaces the whole snapshot under the
+// writer lock; Send loads it with one atomic read — attach is rare,
+// replicate is hot, so the hot path takes no lock and copies nothing.
+type txSnapshot struct {
+	txs  []*transmit.Transmitter
+	grid *geo.Grid
+}
+
 // Replicator fans control frames out to the right transmitters.
 type Replicator struct {
 	locator Locator
 	opts    Options
 
-	mu           sync.Mutex
-	transmitters []*transmit.Transmitter
+	mu   sync.Mutex // serialises writers (AddTransmitter)
+	snap atomic.Pointer[txSnapshot]
 
 	requests   metrics.Counter
 	targeted   metrics.Counter
 	flooded    metrics.Counter
 	broadcasts metrics.Counter
 }
+
+// idScratch pools the per-Send candidate-id buffer for the coverage
+// query, keeping the targeted hot path allocation-free.
+var idScratch = sync.Pool{New: func() any {
+	s := make([]int, 0, 16)
+	return &s
+}}
 
 // ErrNoTransmitters is returned when Send has nowhere to broadcast.
 var ErrNoTransmitters = errors.New("replicator: no transmitters attached")
@@ -79,64 +97,94 @@ func NewFlooding() *Replicator {
 	return &Replicator{opts: Options{Margin: 1.5, Targeted: false}}
 }
 
-// AddTransmitter attaches one transmitter to the array.
+// AddTransmitter attaches one transmitter to the array. The snapshot and
+// its coverage index are rebuilt copy-on-write: in-flight Sends keep the
+// old snapshot, later Sends atomically observe the new one.
 func (r *Replicator) AddTransmitter(t *transmit.Transmitter) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.transmitters = append(r.transmitters, t)
+	old := r.snap.Load()
+	var txs []*transmit.Transmitter
+	if old != nil {
+		txs = append(txs, old.txs...)
+	}
+	txs = append(txs, t)
+	// Cell size: the largest coverage radius, so every circle spans only
+	// a handful of cells and an estimate-area query touches few buckets.
+	maxR := 0.0
+	for _, tx := range txs {
+		if r := tx.Coverage().R; r > maxR {
+			maxR = r
+		}
+	}
+	if maxR <= 0 {
+		maxR = 1
+	}
+	grid := geo.NewGrid(maxR)
+	for i, tx := range txs {
+		grid.Insert(i, tx.Coverage())
+	}
+	r.snap.Store(&txSnapshot{txs: txs, grid: grid})
 }
 
 // Transmitters returns the attached transmitter count.
 func (r *Replicator) Transmitters() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.transmitters)
+	snap := r.snap.Load()
+	if snap == nil {
+		return 0
+	}
+	return len(snap.txs)
 }
 
 // Send encodes the control message once and broadcasts it from the
 // transmitter subset covering the target's expected location area
 // (falling back to flooding). It returns the number of transmitters used.
+//
+// Selection queries the snapshot's coverage index with the inflated
+// location-estimate circle, so a targeted send costs O(transmitters
+// actually near the estimate) and takes no lock: the snapshot is one
+// atomic load and its grid is immutable.
 func (r *Replicator) Send(c wire.ControlMessage) (int, error) {
 	frame, err := c.Encode()
 	if err != nil {
 		return 0, err
 	}
-	r.mu.Lock()
-	txs := make([]*transmit.Transmitter, len(r.transmitters))
-	copy(txs, r.transmitters)
-	r.mu.Unlock()
-	if len(txs) == 0 {
+	snap := r.snap.Load()
+	if snap == nil || len(snap.txs) == 0 {
 		return 0, ErrNoTransmitters
 	}
 	r.requests.Inc()
 
-	chosen := txs
+	used := 0
 	targeted := false
 	if r.locator != nil && r.opts.Targeted {
 		if est, err := r.locator.Locate(c.Target.Sensor()); err == nil {
 			area := geo.Circle{Center: est.Pos, R: est.Uncertainty*r.opts.Margin + 1}
-			var subset []*transmit.Transmitter
-			for _, t := range txs {
-				if t.Coverage().IntersectsCircle(area) {
-					subset = append(subset, t)
-				}
-			}
-			if len(subset) > 0 {
-				chosen = subset
+			idsp := idScratch.Get().(*[]int)
+			ids := snap.grid.AppendIntersecting((*idsp)[:0], area)
+			if len(ids) > 0 {
 				targeted = true
+				for _, id := range ids {
+					snap.txs[id].Broadcast(frame)
+					r.broadcasts.Inc()
+				}
+				used = len(ids)
 			}
+			*idsp = ids[:0]
+			idScratch.Put(idsp)
 		}
 	}
 	if targeted {
 		r.targeted.Inc()
 	} else {
 		r.flooded.Inc()
+		for _, t := range snap.txs {
+			t.Broadcast(frame)
+			r.broadcasts.Inc()
+		}
+		used = len(snap.txs)
 	}
-	for _, t := range chosen {
-		t.Broadcast(frame)
-		r.broadcasts.Inc()
-	}
-	return len(chosen), nil
+	return used, nil
 }
 
 // Stats returns a snapshot of the replicator counters.

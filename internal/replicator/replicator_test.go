@@ -2,6 +2,9 @@ package replicator
 
 import (
 	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
 	"testing"
 	"time"
 
@@ -202,6 +205,106 @@ func TestTransmitterValidation(t *testing.T) {
 		}
 	}()
 	transmit.New(medium, transmit.Config{Position: geo.Pt(0, 0)})
+}
+
+// TestTargetedSelectionEqualsBruteForceProperty pins the grid-backed
+// transmitter selection to the definition it replaced: the set of
+// transmitters whose coverage intersects the inflated estimate circle,
+// over random layouts and estimates.
+func TestTargetedSelectionEqualsBruteForceProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2003, 523))
+	for trial := 0; trial < 50; trial++ {
+		clock := sim.NewVirtualClock(epoch)
+		medium := radio.NewMedium(clock, radio.Params{})
+		n := 1 + rng.IntN(24)
+		txs := make([]*transmit.Transmitter, n)
+		for i := range txs {
+			txs[i] = transmit.New(medium, transmit.Config{
+				Name:     fmt.Sprintf("tx%d", i),
+				Position: geo.Pt(rng.Float64()*4000-2000, rng.Float64()*4000-2000),
+				Range:    50 + rng.Float64()*500,
+			})
+		}
+		est := location.Estimate{
+			Sensor:      42,
+			Pos:         geo.Pt(rng.Float64()*4000-2000, rng.Float64()*4000-2000),
+			Uncertainty: rng.Float64() * 400,
+			Confidence:  1,
+		}
+		loc := &fakeLocator{estimates: map[wire.SensorID]location.Estimate{42: est}}
+		const margin = 1.5
+		r := New(loc, Options{Targeted: true, Margin: margin})
+		for _, tx := range txs {
+			r.AddTransmitter(tx)
+		}
+
+		area := geo.Circle{Center: est.Pos, R: est.Uncertainty*margin + 1}
+		want := 0
+		for _, tx := range txs {
+			if tx.Coverage().IntersectsCircle(area) {
+				want++
+			}
+		}
+		if want == 0 {
+			want = n // estimate outside all coverage: fallback flood
+		}
+		got, err := r.Send(ctrl(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: selected %d transmitters, brute force wants %d", trial, got, want)
+		}
+		// Per-transmitter broadcast counts confirm the *same* subset was
+		// chosen, not just the same count.
+		for _, tx := range txs {
+			covers := tx.Coverage().IntersectsCircle(area)
+			st := tx.Stats()
+			switch {
+			case covers && st.Broadcasts != 1:
+				t.Fatalf("trial %d: covering %s broadcast %d times, want 1", trial, tx.Name(), st.Broadcasts)
+			case !covers && want != n && st.Broadcasts != 0:
+				t.Fatalf("trial %d: non-covering %s broadcast %d times, want 0", trial, tx.Name(), st.Broadcasts)
+			}
+		}
+	}
+}
+
+// TestConcurrentSendDuringAttach exercises the copy-on-write snapshot:
+// replication keeps running lock-free while transmitters attach. Run
+// with -race this pins the Send path reading only immutable snapshots.
+func TestConcurrentSendDuringAttach(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	medium := radio.NewMedium(clock, radio.Params{})
+	r := NewFlooding()
+	r.AddTransmitter(transmit.New(medium, transmit.Config{Position: geo.Pt(0, 0), Range: 100}))
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if _, err := r.Send(ctrl(wire.SensorID(i % 5))); err != nil {
+				panic(err)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			r.AddTransmitter(transmit.New(medium, transmit.Config{
+				Position: geo.Pt(float64(i)*10, 0), Range: 100,
+			}))
+		}
+	}()
+	wg.Wait()
+	if got := r.Transmitters(); got != 51 {
+		t.Fatalf("transmitters = %d, want 51", got)
+	}
+	st := r.Stats()
+	if st.Requests != 200 || st.Broadcasts < 200 {
+		t.Fatalf("stats = %+v", st)
+	}
 }
 
 func TestTransmitterDefaultsAndCoverage(t *testing.T) {

@@ -132,6 +132,14 @@ type Node struct {
 	medium *radio.Medium
 
 	posMu sync.Mutex // guards Mobility (stateful models are not self-synchronised)
+	// Same-instant position memo: the medium polls every mobile
+	// listener's position once per broadcast on its band, and a node may
+	// listen twice (downlink + relay). Mobility models are deterministic
+	// per query time, so repeated queries at one simulated instant reuse
+	// the last answer instead of re-running the model.
+	posCachedAt   time.Time
+	posCached     geo.Point
+	posCacheValid bool
 
 	mu          sync.Mutex
 	streams     map[wire.StreamIndex]*streamState
@@ -221,9 +229,15 @@ func (n *Node) Capabilities() Capability { return n.cfg.Capabilities }
 
 // Position returns the node's current ground-truth position.
 func (n *Node) Position() geo.Point {
+	now := n.clock.Now()
 	n.posMu.Lock()
 	defer n.posMu.Unlock()
-	return n.cfg.Mobility.Position(n.clock.Now())
+	if n.posCacheValid && now.Equal(n.posCachedAt) {
+		return n.posCached
+	}
+	p := n.cfg.Mobility.Position(now)
+	n.posCachedAt, n.posCached, n.posCacheValid = now, p, true
+	return p
 }
 
 // Start brings the node up: sampling tickers for enabled streams and, for
@@ -242,6 +256,9 @@ func (n *Node) Start() {
 	}
 	n.mu.Unlock()
 
+	// Sensor listeners stay non-Static: the medium re-reads Position on
+	// every broadcast and lazily re-buckets the node in its spatial
+	// index when it has roamed into another grid cell.
 	if n.cfg.Capabilities.Has(CapReceive) {
 		n.detach = n.medium.Attach(radio.BandDownlink, &radio.Listener{
 			Name:     fmt.Sprintf("sensor/%d", n.cfg.ID),

@@ -30,6 +30,19 @@ type Timer interface {
 	Stop() bool
 }
 
+// Scheduler is an optional Clock extension for fire-and-forget timers:
+// ScheduleFunc behaves like AfterFunc but returns no cancellation
+// handle, which lets implementations recycle their per-timer bookkeeping
+// (VirtualClock pools its heap events). Hot paths that schedule one
+// callback per delivered frame — the radio medium above all — probe for
+// this interface so a dense broadcast costs zero steady-state
+// allocations in the clock.
+type Scheduler interface {
+	// ScheduleFunc schedules f to run after d on this clock. It cannot
+	// be cancelled.
+	ScheduleFunc(d time.Duration, f func())
+}
+
 // RealClock is a Clock backed by the runtime's wall clock.
 // The zero value is ready to use.
 type RealClock struct{}
@@ -40,6 +53,11 @@ func (RealClock) Now() time.Time { return time.Now() }
 // AfterFunc implements Clock.
 func (RealClock) AfterFunc(d time.Duration, f func()) Timer {
 	return realTimer{time.AfterFunc(d, f)}
+}
+
+// ScheduleFunc implements Scheduler.
+func (RealClock) ScheduleFunc(d time.Duration, f func()) {
+	time.AfterFunc(d, f)
 }
 
 type realTimer struct{ t *time.Timer }

@@ -326,6 +326,54 @@ func TestSubSeedIndependence(t *testing.T) {
 	}
 }
 
+// TestScheduleFuncOrderingMatchesAfterFunc: fire-and-forget events share
+// the same (deadline, schedule-order) discipline as AfterFunc timers,
+// including interleaved with them, and survive recycling across rounds.
+func TestScheduleFuncOrderingMatchesAfterFunc(t *testing.T) {
+	var _ Scheduler = (*VirtualClock)(nil)
+	var _ Scheduler = RealClock{}
+
+	clock := NewVirtualClock(time.Unix(0, 0))
+	for round := 0; round < 3; round++ { // later rounds run on pooled events
+		var got []int
+		clock.ScheduleFunc(2*time.Millisecond, func() { got = append(got, 2) })
+		clock.AfterFunc(time.Millisecond, func() { got = append(got, 1) })
+		clock.ScheduleFunc(time.Millisecond, func() { got = append(got, 11) })
+		clock.ScheduleFunc(0, func() { got = append(got, 0) })
+		clock.ScheduleFunc(-time.Second, func() { got = append(got, 0) }) // negative = zero
+		clock.Advance(5 * time.Millisecond)
+		want := []int{0, 0, 1, 11, 2}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: fired %v, want %v", round, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: fired %v, want %v", round, got, want)
+			}
+		}
+	}
+}
+
+// TestScheduleFuncNestedReschedule: a pooled event's callback may itself
+// call ScheduleFunc (the radio delivery path does when a Deliver
+// re-broadcasts) without tripping over the recycling.
+func TestScheduleFuncNestedReschedule(t *testing.T) {
+	clock := NewVirtualClock(time.Unix(0, 0))
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 5 {
+			clock.ScheduleFunc(time.Millisecond, rec)
+		}
+	}
+	clock.ScheduleFunc(time.Millisecond, rec)
+	clock.RunAll()
+	if depth != 5 {
+		t.Fatalf("depth = %d, want 5", depth)
+	}
+}
+
 func TestNewRandIsUsableSource(t *testing.T) {
 	r := NewRand(1)
 	// Sanity: values in range and not constant.

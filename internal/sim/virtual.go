@@ -32,8 +32,13 @@ type event struct {
 	seq     uint64 // tie-break: schedule order
 	fn      func()
 	stopped bool
-	index   int // heap index, -1 once popped
+	pooled  bool // fire-and-forget (ScheduleFunc): recycle after firing
+	index   int  // heap index, -1 once popped
 }
+
+// eventPool recycles fire-and-forget events (ScheduleFunc). Events with
+// a Timer handle are never pooled: the handle may outlive the firing.
+var eventPool = sync.Pool{New: func() any { return new(event) }}
 
 type eventHeap []*event
 
@@ -82,6 +87,22 @@ func (c *VirtualClock) AfterFunc(d time.Duration, f func()) Timer {
 	c.seq++
 	heap.Push(&c.heap, ev)
 	return &virtualTimer{clock: c, ev: ev}
+}
+
+// ScheduleFunc implements Scheduler: like AfterFunc but without a
+// cancellation handle, so the event is drawn from (and returned to) a
+// pool — the radio medium's per-delivery scheduling path allocates
+// nothing at steady state. Negative durations are treated as zero.
+func (c *VirtualClock) ScheduleFunc(d time.Duration, f func()) {
+	if d < 0 {
+		d = 0
+	}
+	ev := eventPool.Get().(*event)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	*ev = event{when: c.now.Add(d), seq: c.seq, fn: f, pooled: true}
+	c.seq++
+	heap.Push(&c.heap, ev)
 }
 
 type virtualTimer struct {
@@ -134,9 +155,19 @@ func (c *VirtualClock) RunUntil(t time.Time) int {
 			c.now = ev.when
 		}
 		c.mu.Unlock()
-		ev.fn()
+		fire(ev)
 		fired++
 	}
+}
+
+// fire runs an event's callback and recycles fire-and-forget events.
+func fire(ev *event) {
+	fn := ev.fn
+	if ev.pooled {
+		*ev = event{}
+		eventPool.Put(ev)
+	}
+	fn()
 }
 
 // RunAll fires every pending timer (including ones scheduled by callbacks)
@@ -157,7 +188,7 @@ func (c *VirtualClock) RunAll() int {
 			c.now = ev.when
 		}
 		c.mu.Unlock()
-		ev.fn()
+		fire(ev)
 		fired++
 	}
 	return fired

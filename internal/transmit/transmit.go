@@ -21,8 +21,9 @@ type Config struct {
 
 // Transmitter broadcasts control frames over the downlink band.
 type Transmitter struct {
-	cfg    Config
-	medium *radio.Medium
+	cfg      Config
+	medium   *radio.Medium
+	coverage geo.Circle // precomputed: Coverage sits on the replicator's selection path
 
 	broadcasts metrics.Counter
 	bytes      metrics.Counter
@@ -43,16 +44,18 @@ func New(medium *radio.Medium, cfg Config) *Transmitter {
 	if cfg.Name == "" {
 		cfg.Name = fmt.Sprintf("tx@%s", cfg.Position)
 	}
-	return &Transmitter{cfg: cfg, medium: medium}
+	return &Transmitter{
+		cfg:      cfg,
+		medium:   medium,
+		coverage: geo.Circle{Center: cfg.Position, R: cfg.Range},
+	}
 }
 
 // Name returns the transmitter's name.
 func (t *Transmitter) Name() string { return t.cfg.Name }
 
 // Coverage returns the area this transmitter can reach.
-func (t *Transmitter) Coverage() geo.Circle {
-	return geo.Circle{Center: t.cfg.Position, R: t.cfg.Range}
-}
+func (t *Transmitter) Coverage() geo.Circle { return t.coverage }
 
 // Broadcast sends one frame into the downlink.
 func (t *Transmitter) Broadcast(frame []byte) {

@@ -57,6 +57,42 @@ func TestWithFloodingReplicatorUsesEveryTransmitter(t *testing.T) {
 	}
 }
 
+// TestWithFieldGridDeliveryInvariant: the medium's grid cell size is a
+// performance knob, never a semantics knob — the same deployment must
+// deliver the same message count whatever cell size is configured.
+func TestWithFieldGridDeliveryInvariant(t *testing.T) {
+	run := func(opts ...garnet.Option) int64 {
+		clock := garnet.NewVirtualClock(epoch)
+		all := append([]garnet.Option{garnet.WithClock(clock), garnet.WithSecret([]byte("s"))}, opts...)
+		g := garnet.New(all...)
+		defer g.Stop()
+		for i := 0; i < 6; i++ {
+			g.AddReceiver(garnet.ReceiverConfig{Position: garnet.Pt(float64(i)*80, 0), Radius: 120})
+		}
+		if _, err := g.AddSensor(garnet.SensorConfig{
+			ID: 1, Mobility: garnet.Linear{Start: garnet.Pt(0, 0), Velocity: garnet.Pt(20, 0), Epoch: epoch},
+			TxRange: 150,
+			Streams: []garnet.StreamConfig{{
+				Index: 0, Sampler: garnet.SizedSampler(8), Period: time.Second, Enabled: true,
+			}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		g.Start()
+		clock.Advance(20 * time.Second)
+		return g.Stats().Filter.Delivered
+	}
+	def := run()
+	coarse := run(garnet.WithFieldGrid(500))
+	fine := run(garnet.WithFieldGrid(10))
+	if def == 0 {
+		t.Fatal("deployment delivered nothing; invariant test is vacuous")
+	}
+	if coarse != def || fine != def {
+		t.Fatalf("accepted counts diverge across grid cells: default=%d coarse=%d fine=%d", def, coarse, fine)
+	}
+}
+
 func TestWithAsyncDispatchDeliversViaWorkers(t *testing.T) {
 	clock := garnet.NewVirtualClock(epoch)
 	g := garnet.New(
