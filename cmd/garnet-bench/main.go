@@ -27,7 +27,7 @@ func main() {
 
 func run() error {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (F1, F2, C1, E1..E13, X1) or \"all\"")
+		experiment = flag.String("experiment", "all", "experiment id (F1, F2, C1, E1..E16, X1) or \"all\"")
 		seed       = flag.Uint64("seed", 42, "deterministic seed")
 		quick      = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	)

@@ -135,11 +135,40 @@ func WithReorderWindow(d time.Duration) Option {
 	return func(cfg *core.Config) { cfg.Filter.ReorderWindow = d }
 }
 
-// WithActuationRetry tunes the Actuation Service's retry loop.
+// WithActuationRetry tunes the Actuation Service's retry loop. It
+// composes with WithControlShards and WithActuationCoalescing in any
+// order.
 func WithActuationRetry(interval time.Duration, maxAttempts int) Option {
 	return func(cfg *core.Config) {
-		cfg.Actuation = actuation.Options{RetryInterval: interval, MaxAttempts: maxAttempts}
+		cfg.Actuation.RetryInterval = interval
+		cfg.Actuation.MaxAttempts = maxAttempts
 	}
+}
+
+// WithControlShards partitions the return actuation path's control-plane
+// state — the Resource Manager's demand ledger and the Actuation
+// Service's outstanding table (whose 16-bit update-id space is carved
+// into per-shard sub-spaces) — into n shards keyed by the target sensor,
+// so a demand takes at most one shard-local lock per layer end to end
+// and demands against different sensors never contend (n <= 0 selects
+// the default; 1 restores the historical single-lock control plane; the
+// actuation layer rounds n up to a power of two). Pair with
+// WithFilterShards/WithDispatchShards: all four services partition on
+// the same sensor key.
+func WithControlShards(n int) Option {
+	return func(cfg *core.Config) {
+		cfg.Resource.Shards = n
+		cfg.Actuation.Shards = n
+	}
+}
+
+// WithActuationCoalescing absorbs bursts of stream-update requests
+// against the same sensor setting: within the window only the latest
+// request is transmitted (earlier ones complete with
+// OutcomeSuperseded), so a storm of conflicting demand flips costs one
+// trailing actuation instead of a retry storm. Pings never coalesce.
+func WithActuationCoalescing(window time.Duration) Option {
+	return func(cfg *core.Config) { cfg.Actuation.CoalesceWindow = window }
 }
 
 // WithLocationPublishing publishes location estimates as data streams on

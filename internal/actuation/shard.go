@@ -1,0 +1,167 @@
+package actuation
+
+import (
+	"sync"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/resource"
+	"github.com/garnet-middleware/garnet/internal/sim"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// ashard is one partition of the outstanding-request table. The partition
+// key is the sensor component of the request's target StreamID (the
+// shared wire.SensorID.Shard function), and each shard owns a contiguous
+// sub-space of the 16-bit wire update-id: the top bits name the shard,
+// the low bits count within it. An ack therefore routes back to its home
+// shard from the id alone — no global table, no second lock.
+type ashard struct {
+	base uint16 // shard index shifted into the top id bits
+	mask uint16 // low-bit mask of the shard's id sub-space
+
+	mu sync.Mutex
+	// nextID counts within the sub-space; allocation skips ids still
+	// outstanding, so wrap-around reuses only acked/expired ids.
+	nextID      uint16
+	outstanding map[uint16]*pending // full wire id → request
+	coal        map[coalKey]*coalEntry
+	stopped     bool
+	// lastStamp is the shard's previous wire issue timestamp; see
+	// stampLocked.
+	lastStamp time.Time
+
+	// Hot-path counters are plain ints mutated only under mu; Stats sums
+	// them per shard.
+	issued     int64
+	acked      int64
+	expired    int64
+	cancelled  int64
+	superseded int64
+	retries    int64
+	dupAcks    int64
+	coalesced  int64
+
+	// latency records this shard's request→ack latencies, so an ack never
+	// crosses into another shard's state; Service.Latency merges on read.
+	latency metrics.Histogram
+}
+
+type pending struct {
+	req      Request
+	issuedAt time.Time // for latency measurement
+	stamp    time.Time // wire issue timestamp, strictly ordered per shard
+	attempts int
+	done     func(Result)
+	// timer is the cancellation handle of the armed retry/expiry timer on
+	// real clocks (nil on the pooled virtual-clock path, where stale
+	// fires are screened by generation checks instead): an ack stops the
+	// timer immediately rather than retaining this record until the dead
+	// timer fires.
+	timer sim.Timer
+}
+
+// stampLocked returns a strictly-increasing wire issue timestamp for this
+// shard: now, pushed one µs (the wire timestamp's precision) past the
+// previous stamp when the clock has not advanced. Distinct requests in a
+// shard therefore never tie, so the device's apply-in-issue-order
+// staleness guard totally orders competing settings even for flips
+// within one clock instant; retransmissions of one request reuse its
+// stamp and still re-ack. Caller holds sh.mu.
+func (sh *ashard) stampLocked(now time.Time) time.Time {
+	// Quantize to the wire precision first: two real-clock instants
+	// within one µs would otherwise compare After here yet encode to the
+	// identical wire value, resurrecting the tie this function exists to
+	// break.
+	now = now.Truncate(time.Microsecond)
+	if !now.After(sh.lastStamp) {
+		now = sh.lastStamp.Add(time.Microsecond)
+	}
+	sh.lastStamp = now
+	return now
+}
+
+// coalKey identifies the sensor setting a request competes for — requests
+// with the same key within a coalescing window collapse into one
+// actuation.
+type coalKey struct {
+	target wire.StreamID
+	class  resource.Class
+}
+
+// coalesceKeyOf returns the coalescing key for a request; ok is false for
+// operations that need no mediation and must never coalesce (ping,
+// device params). The key's class is resource.ClassOf's, so the two
+// layers always agree on which operations compete for one setting.
+func coalesceKeyOf(req Request) (coalKey, bool) {
+	class, ok := resource.ClassOf(req.Op)
+	if !ok {
+		return coalKey{}, false
+	}
+	return coalKey{target: req.Target, class: class}, true
+}
+
+// coalEntry is an open coalescing window for one key. held is the latest
+// request absorbed since the window opened; it is issued when the window
+// closes. lastID/lastP remember the key's most recently transmitted
+// request so the trailing actuation can supersede its retries — without
+// this, a lost first transmission would be retried after the newer value
+// and revert the sensor.
+type coalEntry struct {
+	held   *heldRequest
+	lastID uint16
+	lastP  *pending
+}
+
+type heldRequest struct {
+	req  Request
+	done func(Result)
+}
+
+// completeHeld resolves a held request's callback without an update id
+// (it was never issued).
+func completeHeld(h *heldRequest, o Outcome) {
+	if h != nil && h.done != nil {
+		h.done(Result{Request: h.req, Outcome: o})
+	}
+}
+
+// shardFor picks a target's home shard.
+func (s *Service) shardFor(target wire.StreamID) *ashard {
+	return s.shards[target.Sensor().Shard(len(s.shards))]
+}
+
+// shardForID routes an update id back to the shard that allocated it.
+func (s *Service) shardForID(id uint16) *ashard {
+	return s.shards[int(id>>s.idBits)]
+}
+
+// allocateLocked hands out the next free id in the shard's sub-space,
+// skipping ids still outstanding so wrap-around never double-books a
+// pending request. Wire id 0 is never allocated — Result reserves it for
+// requests that were never transmitted — so shard 0's sub-space holds
+// one id fewer. ok is false when the whole sub-space is outstanding.
+// Caller holds sh.mu.
+func (sh *ashard) allocateLocked() (uint16, bool) {
+	space := int(sh.mask) + 1
+	for i := 0; i < space; i++ {
+		sh.nextID = (sh.nextID + 1) & sh.mask
+		id := sh.base | sh.nextID
+		if id == 0 {
+			continue
+		}
+		if _, inUse := sh.outstanding[id]; !inUse {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -60,7 +60,12 @@ type Config struct {
 	Actuation   actuation.Options
 	Replicator  replicator.Options
 	Coordinator coordinator.Options
-	Policy      resource.Policy
+	// Resource configures the Resource Manager (control-plane sharding;
+	// the garnet.WithControlShards facade option threads Shards here).
+	Resource resource.Options
+	// Policy is the initial mediation policy; it is folded into
+	// Resource.Policy when that field is zero.
+	Policy resource.Policy
 	// Secret signs registry tokens. Required.
 	Secret []byte
 	// LocationPublishPeriod, when positive, publishes location estimates
@@ -84,20 +89,18 @@ type Deployment struct {
 	repl       *replicator.Replicator
 	coord      *coordinator.Coordinator
 
+	// mu guards the component registries and lifecycle flags only — the
+	// control path (demand submission, application, actuation) never
+	// takes it; ownership bookkeeping lives in the resource manager's
+	// sharded ledger.
 	mu           sync.Mutex
 	receivers    []*receiver.Receiver
 	transmitters []*transmit.Transmitter
 	sensors      []*sensor.Node
-	owned        map[string]map[demandKey]resource.Demand // coordinator-managed demand sets
 	nextVirtual  wire.SensorID
 	locTicker    *sim.Ticker
 	started      bool
 	stopped      bool
-}
-
-type demandKey struct {
-	target wire.StreamID
-	class  resource.Class
 }
 
 // ErrLifecycle is returned for operations against a stopped deployment.
@@ -114,7 +117,6 @@ func New(cfg Config) *Deployment {
 	}
 	d := &Deployment{
 		clock:       cfg.Clock,
-		owned:       make(map[string]map[demandKey]resource.Demand),
 		nextVirtual: consumer.VirtualSensorBase,
 	}
 	d.medium = radio.NewMedium(cfg.Clock, cfg.Radio)
@@ -130,7 +132,11 @@ func New(cfg Config) *Deployment {
 
 	d.locSvc = location.New(cfg.Clock, cfg.Location)
 	d.registry = registry.New(cfg.Secret, cfg.Clock)
-	d.rm = resource.NewManager(cfg.Policy)
+	resOpts := cfg.Resource
+	if resOpts.Policy == 0 {
+		resOpts.Policy = cfg.Policy
+	}
+	d.rm = resource.NewWithOptions(resOpts)
 	d.repl = replicator.New(d.locSvc, cfg.Replicator)
 	d.acts = actuation.NewService(cfg.Clock, func(c wire.ControlMessage) {
 		// ErrNoTransmitters is visible through replicator stats; the
@@ -298,29 +304,13 @@ func (d *Deployment) actuateAction(a resource.Action, owner string) {
 // ApplyDemands replaces an owner's standing demand set — the Super
 // Coordinator's sink. Demands present in the new set are submitted;
 // demands the owner held before but not any more are withdrawn; every
-// changed effective setting is actuated.
+// changed effective setting is actuated. The replacement fans out per
+// ledger shard inside the resource manager (which owns the ownership
+// bookkeeping): the mutation work runs under the shard-local locks of
+// the touched shards only, and Deployment.mu is never taken.
 func (d *Deployment) ApplyDemands(owner string, demands []resource.Demand) {
-	next := make(map[demandKey]resource.Demand, len(demands))
-	for _, dem := range demands {
-		class, ok := resource.ClassOf(dem.Op)
-		if !ok {
-			continue
-		}
-		dem.Consumer = owner
-		next[demandKey{target: dem.Target, class: class}] = dem
-	}
-	d.mu.Lock()
-	prev := d.owned[owner]
-	d.owned[owner] = next
-	d.mu.Unlock()
-
-	for key := range prev {
-		if _, still := next[key]; !still {
-			d.WithdrawDemand(owner, key.target, key.class)
-		}
-	}
-	for _, dem := range next {
-		_, _ = d.SubmitDemand(dem)
+	for _, a := range d.rm.Apply(owner, demands) {
+		d.actuateAction(a, owner)
 	}
 }
 

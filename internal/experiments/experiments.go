@@ -8,8 +8,8 @@
 // rendered as aligned text by cmd/garnet-bench and re-run as testing.B
 // benchmarks from the repository-root bench_test.go. Experiments run on
 // virtual time with seeded randomness, so the numbers are reproducible
-// bit-for-bit; only the throughput experiments (F2, E2, E9, E11, E13)
-// measure wall-clock rates.
+// bit-for-bit; only the throughput experiments (F2, E2, E9, E11,
+// E13–E16) measure wall-clock rates.
 package experiments
 
 import (
@@ -128,6 +128,7 @@ func All() []Experiment {
 		{"E13", "Sharded dispatch under concurrent publishers", runE13},
 		{"E14", "Sharded filter ingest under concurrent receivers", runE14},
 		{"E15", "Dense-field broadcast: cost vs attached receivers", runE15},
+		{"E16", "Demand storm: sharded control plane under churn", runE16},
 		{"X1", "Multi-hop relaying — §8 future-work extension", runX1},
 	}
 }

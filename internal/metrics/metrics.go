@@ -101,6 +101,22 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.Observe(float64(d) / float64(time.Millisecond))
 }
 
+// Merge appends every sample of src into h. The two histograms are
+// locked one at a time, never together, so shard-local histograms can be
+// merged into a snapshot while writers keep observing.
+func (h *Histogram) Merge(src *Histogram) {
+	src.mu.Lock()
+	samples := append([]float64(nil), src.samples...)
+	src.mu.Unlock()
+	if len(samples) == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.samples = append(h.samples, samples...)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() int {
 	h.mu.Lock()

@@ -9,6 +9,7 @@
 package orphanage
 
 import (
+	"container/heap"
 	"sort"
 	"sync"
 	"time"
@@ -59,11 +60,40 @@ type Stats struct {
 }
 
 type orphanStream struct {
+	id        wire.StreamID
 	buf       []filtering.Delivery // FIFO backlog
 	bytes     int64
 	seen      int64
 	firstSeen time.Time
 	lastSeen  time.Time
+	heapIdx   int // position in the silence heap
+}
+
+// silenceHeap orders held streams by lastSeen (oldest-silent first), so
+// MaxStreams eviction pops its victim in O(log n) instead of scanning
+// every held stream.
+type silenceHeap []*orphanStream
+
+func (h silenceHeap) Len() int           { return len(h) }
+func (h silenceHeap) Less(i, j int) bool { return h[i].lastSeen.Before(h[j].lastSeen) }
+func (h silenceHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *silenceHeap) Push(x any) {
+	st := x.(*orphanStream)
+	st.heapIdx = len(*h)
+	*h = append(*h, st)
+}
+func (h *silenceHeap) Pop() any {
+	old := *h
+	n := len(old)
+	st := old[n-1]
+	old[n-1] = nil
+	st.heapIdx = -1
+	*h = old[:n-1]
+	return st
 }
 
 // Orphanage is the default consumer for unclaimed data.
@@ -72,6 +102,7 @@ type Orphanage struct {
 
 	mu      sync.Mutex
 	streams map[wire.StreamID]*orphanStream
+	silence silenceHeap // same streams, keyed by lastSeen
 
 	totalSeen metrics.Counter
 	dropped   metrics.Counter
@@ -107,11 +138,13 @@ func (o *Orphanage) Consume(d filtering.Delivery) {
 		if len(o.streams) >= o.opts.MaxStreams {
 			o.evictStalestLocked()
 		}
-		st = &orphanStream{firstSeen: d.At}
+		st = &orphanStream{id: d.Msg.Stream, firstSeen: d.At, lastSeen: d.At}
 		o.streams[d.Msg.Stream] = st
+		heap.Push(&o.silence, st)
 	}
 	st.seen++
 	st.lastSeen = d.At
+	heap.Fix(&o.silence, st.heapIdx)
 	if len(st.buf) >= o.opts.PerStreamCapacity {
 		o.dropped.Inc()
 		st.bytes -= int64(len(st.buf[0].Msg.Payload))
@@ -121,19 +154,15 @@ func (o *Orphanage) Consume(d filtering.Delivery) {
 	st.bytes += int64(len(d.Msg.Payload))
 }
 
+// evictStalestLocked drops the stream silent the longest: the root of
+// the silence heap, in O(log n).
 func (o *Orphanage) evictStalestLocked() {
-	var victim wire.StreamID
-	var oldest time.Time
-	first := true
-	for id, st := range o.streams {
-		if first || st.lastSeen.Before(oldest) {
-			victim, oldest, first = id, st.lastSeen, false
-		}
+	if len(o.silence) == 0 {
+		return
 	}
-	if !first {
-		delete(o.streams, victim)
-		o.evicted.Inc()
-	}
+	st := heap.Pop(&o.silence).(*orphanStream)
+	delete(o.streams, st.id)
+	o.evicted.Inc()
 }
 
 // Claim atomically removes and returns the buffered backlog for a stream,
@@ -148,6 +177,7 @@ func (o *Orphanage) Claim(id wire.StreamID) (backlog []filtering.Delivery, ok bo
 		return nil, false
 	}
 	delete(o.streams, id)
+	heap.Remove(&o.silence, st.heapIdx)
 	o.claims.Inc()
 	return st.buf, true
 }
@@ -194,17 +224,15 @@ func (o *Orphanage) infoLocked(id wire.StreamID, st *orphanStream) Info {
 
 // EvictBefore discards every stream whose last message predates cutoff,
 // returning the number evicted. A deployment policy typically calls this
-// periodically.
+// periodically. The silence heap yields victims oldest first, so the
+// call costs O(evicted · log n) rather than a scan of every held stream.
 func (o *Orphanage) EvictBefore(cutoff time.Time) int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	n := 0
-	for id, st := range o.streams {
-		if st.lastSeen.Before(cutoff) {
-			delete(o.streams, id)
-			o.evicted.Inc()
-			n++
-		}
+	for len(o.silence) > 0 && o.silence[0].lastSeen.Before(cutoff) {
+		o.evictStalestLocked()
+		n++
 	}
 	return n
 }

@@ -117,17 +117,22 @@ func New(secret []byte, clock sim.Clock) *Registry {
 	}
 }
 
-// Register adds a consumer and returns its bearer token.
+// Register adds a consumer and returns its bearer token. The HMAC is
+// computed after the registry lock is released — it only needs the
+// immutable signing secret — so minting never serialises other
+// registrations or authentications.
 func (r *Registry) Register(name string, perms Permission) (Token, error) {
 	if name == "" {
 		return "", ErrEmptyName
 	}
+	now := r.clock.Now()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, taken := r.byName[name]; taken {
+		r.mu.Unlock()
 		return "", fmt.Errorf("%w: %q", ErrNameTaken, name)
 	}
-	r.byName[name] = Identity{Name: name, Permissions: perms, RegisteredAt: r.clock.Now()}
+	r.byName[name] = Identity{Name: name, Permissions: perms, RegisteredAt: now}
+	r.mu.Unlock()
 	return r.mint(name, perms), nil
 }
 
@@ -151,6 +156,11 @@ func (r *Registry) sign(body string) []byte {
 // Authenticate verifies a token and returns the live identity. It fails
 // when the token is malformed or forged, the consumer was never
 // registered, it was revoked, or its permissions changed since minting.
+//
+// The HMAC verification runs before the registry lock is taken (the
+// signing secret is immutable), so concurrent authentications — every
+// privileged facade call makes one — only serialise on the short
+// identity-map lookup, not on the crypto.
 func (r *Registry) Authenticate(tok Token) (Identity, error) {
 	parts := strings.Split(string(tok), ".")
 	if len(parts) != 3 {

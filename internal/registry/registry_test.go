@@ -2,7 +2,9 @@ package registry
 
 import (
 	"errors"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -212,4 +214,42 @@ func TestSecretIsCopied(t *testing.T) {
 	if _, err := r.Authenticate(tok); err != nil {
 		t.Fatal("registry aliased the caller's secret buffer")
 	}
+}
+
+// BenchmarkRegistryAuthenticate measures concurrent token verification —
+// every privileged facade call authenticates, so the HMAC must run
+// outside the registry mutex or all authentications serialise.
+func BenchmarkRegistryAuthenticate(b *testing.B) {
+	r := newRegistry()
+	tok, err := r.Register("bench-app", PermSubscribe|PermActuate|PermTrusted)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := r.Authenticate(tok); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkRegistryRegister measures registration (mint under load):
+// minting happens after the lock is released, so concurrent registrations
+// only serialise on the identity-map insert.
+func BenchmarkRegistryRegister(b *testing.B) {
+	r := newRegistry()
+	var n atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			name := "app-" + strconv.FormatInt(n.Add(1), 10)
+			if _, err := r.Register(name, PermSubscribe); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }

@@ -1,0 +1,308 @@
+package resource
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// Sharded-vs-single-lock equivalence: the ledger partition is a pure
+// performance structure, so any interleaving of submissions, withdrawals,
+// policy flips and demand-set applications must produce identical
+// decisions, effective settings, actions and summed stats for every shard
+// count. Reason strings are excluded: a first-come denial names *a*
+// conflicting owner, which legitimately depends on map iteration order.
+
+type controlOp struct {
+	kind     int // 0 submit, 1 withdraw, 2 policy flip, 3 apply, 4 withdraw-all
+	demand   Demand
+	consumer string
+	target   wire.StreamID
+	class    Class
+	policy   Policy
+	owner    string
+	demands  []Demand
+}
+
+func randomDemand(rng *rand.Rand, consumer string) Demand {
+	target := wire.MustStreamID(wire.SensorID(rng.Intn(10)), wire.StreamIndex(rng.Intn(2)))
+	d := Demand{Consumer: consumer, Target: target, Priority: rng.Intn(3)}
+	switch rng.Intn(4) {
+	case 0:
+		d.Op = wire.OpSetRate
+		d.Value = uint32(rng.Intn(5) + 1)
+	case 1:
+		d.Op = wire.OpEnableStream
+	case 2:
+		d.Op = wire.OpDisableStream
+	case 3:
+		d.Op = wire.OpSetPayloadLimit
+		d.Value = uint32(rng.Intn(4)*128 + 64)
+	}
+	return d
+}
+
+func randomScript(rng *rand.Rand, n int) []controlOp {
+	consumers := []string{"a", "b", "c", "d"}
+	owners := []string{"sc/app1", "sc/app2"}
+	policies := []Policy{PolicyMostDemanding, PolicyLeastDemanding, PolicyPriority, PolicyFirstComeDeny}
+	ops := make([]controlOp, 0, n)
+	for i := 0; i < n; i++ {
+		switch k := rng.Intn(10); {
+		case k < 5:
+			ops = append(ops, controlOp{kind: 0, demand: randomDemand(rng, consumers[rng.Intn(len(consumers))])})
+		case k < 7:
+			ops = append(ops, controlOp{
+				kind:     1,
+				consumer: consumers[rng.Intn(len(consumers))],
+				target:   wire.MustStreamID(wire.SensorID(rng.Intn(10)), wire.StreamIndex(rng.Intn(2))),
+				class:    Class(rng.Intn(3) + 1),
+			})
+		case k < 8:
+			ops = append(ops, controlOp{kind: 2, policy: policies[rng.Intn(len(policies))]})
+		case k < 9:
+			owner := owners[rng.Intn(len(owners))]
+			set := make([]Demand, rng.Intn(6))
+			for j := range set {
+				set[j] = randomDemand(rng, owner)
+			}
+			ops = append(ops, controlOp{kind: 3, owner: owner, demands: set})
+		default:
+			ops = append(ops, controlOp{kind: 4, consumer: consumers[rng.Intn(len(consumers))]})
+		}
+	}
+	return ops
+}
+
+func sortActions(as []Action) {
+	sort.Slice(as, func(i, j int) bool {
+		if as[i].Target != as[j].Target {
+			return as[i].Target < as[j].Target
+		}
+		if as[i].Op != as[j].Op {
+			return as[i].Op < as[j].Op
+		}
+		return as[i].Value < as[j].Value
+	})
+}
+
+func decisionsEqual(a, b Decision) bool {
+	if a.Verdict != b.Verdict || a.Effective != b.Effective || a.Changed != b.Changed {
+		return false
+	}
+	if (a.Action == nil) != (b.Action == nil) {
+		return false
+	}
+	return a.Action == nil || *a.Action == *b.Action
+}
+
+func TestShardedVsSingleLockEquivalenceProperty(t *testing.T) {
+	cons, err := ParseConstraints("rate<=4000; rate>=1; payload<=512; streams<=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 7))
+		script := randomScript(rng, 120)
+
+		shardCounts := []int{1, 4, 16}
+		managers := make([]*Manager, len(shardCounts))
+		for i, n := range shardCounts {
+			managers[i] = NewWithOptions(Options{Shards: n})
+			managers[i].SetDefaultConstraints(Constraints{MaxRateMilliHz: 8000})
+			managers[i].SetConstraints(wire.SensorID(3), cons)
+		}
+
+		for step, op := range script {
+			switch op.kind {
+			case 0:
+				ref, refErr := managers[0].Submit(op.demand)
+				for i := 1; i < len(managers); i++ {
+					got, gotErr := managers[i].Submit(op.demand)
+					if (refErr == nil) != (gotErr == nil) || !decisionsEqual(ref, got) {
+						t.Fatalf("trial %d step %d shards=%d: Submit(%+v) = (%+v, %v), shards=1 gave (%+v, %v)",
+							trial, step, shardCounts[i], op.demand, got, gotErr, ref, refErr)
+					}
+				}
+			case 1:
+				ref, refOK := managers[0].Withdraw(op.consumer, op.target, op.class)
+				for i := 1; i < len(managers); i++ {
+					got, gotOK := managers[i].Withdraw(op.consumer, op.target, op.class)
+					if refOK != gotOK || (refOK && !decisionsEqual(ref, got)) {
+						t.Fatalf("trial %d step %d shards=%d: Withdraw = (%+v, %v), shards=1 gave (%+v, %v)",
+							trial, step, shardCounts[i], got, gotOK, ref, refOK)
+					}
+				}
+			case 2:
+				for _, m := range managers {
+					m.SetPolicy(op.policy)
+				}
+			case 3:
+				ref := managers[0].Apply(op.owner, op.demands)
+				sortActions(ref)
+				for i := 1; i < len(managers); i++ {
+					got := managers[i].Apply(op.owner, op.demands)
+					sortActions(got)
+					if len(got) != len(ref) {
+						t.Fatalf("trial %d step %d shards=%d: Apply returned %d actions, shards=1 gave %d",
+							trial, step, shardCounts[i], len(got), len(ref))
+					}
+					for j := range got {
+						if got[j] != ref[j] {
+							t.Fatalf("trial %d step %d shards=%d: Apply action %d = %+v, shards=1 gave %+v",
+								trial, step, shardCounts[i], j, got[j], ref[j])
+						}
+					}
+				}
+			case 4:
+				ref := managers[0].WithdrawAll(op.consumer)
+				sortActions(ref)
+				for i := 1; i < len(managers); i++ {
+					got := managers[i].WithdrawAll(op.consumer)
+					sortActions(got)
+					if len(got) != len(ref) {
+						t.Fatalf("trial %d step %d shards=%d: WithdrawAll returned %d actions, shards=1 gave %d",
+							trial, step, shardCounts[i], len(got), len(ref))
+					}
+					for j := range got {
+						if got[j] != ref[j] {
+							t.Fatalf("trial %d step %d shards=%d: WithdrawAll action %d = %+v, shards=1 gave %+v",
+								trial, step, shardCounts[i], j, got[j], ref[j])
+						}
+					}
+				}
+			}
+		}
+
+		// Terminal state: summed stats, overview and per-stream effective
+		// settings must agree exactly.
+		refStats := managers[0].Stats()
+		refOverview := managers[0].Overview()
+		for i := 1; i < len(managers); i++ {
+			st := managers[i].Stats()
+			st.Shards = refStats.Shards // partition count is the only allowed difference
+			if st != refStats {
+				t.Fatalf("trial %d shards=%d: stats %+v, shards=1 gave %+v", trial, shardCounts[i], st, refStats)
+			}
+			ov := managers[i].Overview()
+			if len(ov) != len(refOverview) {
+				t.Fatalf("trial %d shards=%d: overview has %d entries, shards=1 has %d",
+					trial, shardCounts[i], len(ov), len(refOverview))
+			}
+			for j := range ov {
+				if ov[j] != refOverview[j] {
+					t.Fatalf("trial %d shards=%d: overview[%d] = %+v, shards=1 gave %+v",
+						trial, shardCounts[i], j, ov[j], refOverview[j])
+				}
+			}
+			for sensor := 0; sensor < 10; sensor++ {
+				for index := 0; index < 2; index++ {
+					target := wire.MustStreamID(wire.SensorID(sensor), wire.StreamIndex(index))
+					for class := ClassRate; class <= ClassPayload; class++ {
+						refEff, refOK := managers[0].Effective(target, class)
+						gotEff, gotOK := managers[i].Effective(target, class)
+						if refOK != gotOK || refEff != gotEff {
+							t.Fatalf("trial %d shards=%d: Effective(%v, %v) = (%d, %v), shards=1 gave (%d, %v)",
+								trial, shardCounts[i], target, class, gotEff, gotOK, refEff, refOK)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestControlPlaneRaceStress hammers one sharded manager from many
+// goroutines — submissions, withdrawals, policy flips, coordinator-style
+// demand-set applications and stats readers — and checks the summed
+// counters balance. Run with -race.
+func TestControlPlaneRaceStress(t *testing.T) {
+	m := NewWithOptions(Options{Shards: 8})
+	m.SetDefaultConstraints(Constraints{MaxRateMilliHz: 4000})
+
+	const perWorker = 1500
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			consumer := string(rune('a' + seed))
+			for i := 0; i < perWorker; i++ {
+				d := randomDemand(rng, consumer)
+				if _, err := m.Submit(d); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if rng.Intn(4) == 0 {
+					class, _ := ClassOf(d.Op)
+					m.Withdraw(consumer, d.Target, class)
+				}
+			}
+			m.WithdrawAll(consumer)
+		}(int64(w))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < perWorker; i++ {
+			set := make([]Demand, rng.Intn(4))
+			for j := range set {
+				set[j] = randomDemand(rng, "sc/app")
+			}
+			m.Apply("sc/app", set)
+		}
+		m.Apply("sc/app", nil)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		policies := []Policy{PolicyMostDemanding, PolicyLeastDemanding, PolicyPriority, PolicyFirstComeDeny}
+		for i := 0; i < perWorker; i++ {
+			m.SetPolicy(policies[i%len(policies)])
+			_ = m.Stats()
+			if i%64 == 0 {
+				_ = m.Overview()
+			}
+		}
+	}()
+	wg.Wait()
+
+	st := m.Stats()
+	if st.Submitted != st.Approved+st.Modified+st.Denied {
+		t.Fatalf("counters unbalanced: %+v", st)
+	}
+	// Every worker withdrew everything it owned, so the ledger only holds
+	// whatever the final Apply left (nothing).
+	if st.Ledger != 0 {
+		t.Fatalf("ledger not empty after withdraw-all: %+v", st)
+	}
+}
+
+// A malformed replacement demand must not withdraw the owner's standing
+// demand on the same key: the fire-and-forget coordinator contract drops
+// the bad value, not the stream.
+func TestApplyInvalidReplacementKeepsStandingDemand(t *testing.T) {
+	target := wire.MustStreamID(5, 0)
+	m := NewWithOptions(Options{Shards: 4})
+	if got := m.Apply("sc/app", []Demand{{Target: target, Op: wire.OpSetRate, Value: 2000}}); len(got) != 1 {
+		t.Fatalf("initial apply actions = %+v", got)
+	}
+	// Value 0 is an invalid rate: the demand is dropped, the standing
+	// 2000 mHz demand survives, and nothing is actuated.
+	if got := m.Apply("sc/app", []Demand{{Target: target, Op: wire.OpSetRate, Value: 0}}); len(got) != 0 {
+		t.Fatalf("invalid replacement produced actions %+v", got)
+	}
+	if eff, ok := m.Effective(target, ClassRate); !ok || eff != 2000 {
+		t.Fatalf("effective = (%d, %v), want standing 2000", eff, ok)
+	}
+	// An empty set still withdraws it.
+	m.Apply("sc/app", nil)
+	if _, ok := m.Effective(target, ClassRate); ok {
+		t.Fatal("standing demand survived an empty replacement set")
+	}
+}

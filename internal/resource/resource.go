@@ -10,15 +10,27 @@
 // The ledger doubles as the paper's “approximate overview of the sensors'
 // configuration” (§6): it records what the fixed network believes each
 // sensor has been told to do.
+//
+// # Sharding
+//
+// With millions of mutually-unaware consumers churning demands, mediation
+// itself becomes the contention point, so the ledger is partitioned into N
+// shards (Options.Shards) keyed by the sensor component of the target
+// StreamID — the same wire.SensorID.Shard function the Filtering and
+// Dispatching Services partition on — with shard-local mutexes, counters,
+// constraint tables and consumer-ownership indexes. A demand takes exactly
+// one shard lock; demands against different sensors' streams never
+// contend. The mediation policy is an atomic value, so the Super
+// Coordinator's policy flips never stall in-flight submissions, and the
+// approved-no-change fast path allocates nothing.
 package resource
 
 import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
+	"sync/atomic"
 
-	"github.com/garnet-middleware/garnet/internal/metrics"
 	"github.com/garnet-middleware/garnet/internal/wire"
 )
 
@@ -177,7 +189,7 @@ type entry struct {
 	order     []string // consumer arrival order, for PolicyFirstComeDeny
 }
 
-// Stats is a snapshot of manager counters.
+// Stats is a snapshot of manager counters, summed across shards.
 type Stats struct {
 	Submitted   int64
 	Approved    int64
@@ -185,142 +197,166 @@ type Stats struct {
 	Denied      int64
 	Withdrawals int64
 	Ledger      int // live (stream, class) entries
+	Shards      int // ledger partitions
+}
+
+// DefaultShards partitions the demand ledger unless Options.Shards says
+// otherwise. Matches the filtering/dispatch default so one sensor's
+// control-plane and data-plane state partition identically.
+const DefaultShards = 16
+
+// Options configures a Manager. The zero value uses PolicyMostDemanding
+// and DefaultShards.
+type Options struct {
+	// Policy is the initial mediation policy; 0 selects
+	// PolicyMostDemanding.
+	Policy Policy
+	// Shards partitions the demand ledger by target sensor; <= 0 selects
+	// DefaultShards. 1 restores the historical single-lock ledger.
+	Shards int
 }
 
 // Manager is the Resource Manager.
 type Manager struct {
-	mu          sync.Mutex
-	policy      Policy
-	ledger      map[ledgerKey]*entry
-	constraints map[wire.SensorID]Constraints
-	defaults    Constraints
-	hasDefaults bool
-
-	submitted metrics.Counter
-	approved  metrics.Counter
-	modified  metrics.Counter
-	denied    metrics.Counter
-	withdrawn metrics.Counter
+	// policy is the current mediation Policy, read atomically on every
+	// decision so SetPolicy never blocks (or is blocked by) submissions.
+	policy atomic.Int32
+	// defaults holds the deployment-wide default constraints; nil until
+	// SetDefaultConstraints is called.
+	defaults atomic.Pointer[Constraints]
+	shards   []*mshard
 }
 
 // NewManager creates a Manager with the given mediation policy
-// (PolicyMostDemanding when zero).
+// (PolicyMostDemanding when zero) and the default shard count.
 func NewManager(policy Policy) *Manager {
-	if policy == 0 {
-		policy = PolicyMostDemanding
+	return NewWithOptions(Options{Policy: policy})
+}
+
+// NewWithOptions creates a Manager from opts.
+func NewWithOptions(opts Options) *Manager {
+	if opts.Policy == 0 {
+		opts.Policy = PolicyMostDemanding
 	}
-	return &Manager{
-		policy:      policy,
-		ledger:      make(map[ledgerKey]*entry),
-		constraints: make(map[wire.SensorID]Constraints),
+	if opts.Shards <= 0 {
+		opts.Shards = DefaultShards
 	}
+	m := &Manager{shards: newShards(opts.Shards)}
+	m.policy.Store(int32(opts.Policy))
+	return m
 }
 
 // Policy returns the current mediation policy.
 func (m *Manager) Policy() Policy {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.policy
+	return Policy(m.policy.Load())
 }
 
 // SetPolicy switches the mediation policy at runtime — the hook the Super
 // Coordinator uses to “invoke policy changes in the strategy used by the
-// Resource Manager” (§4.2). Existing effective settings are not recomputed
-// until the next submission touches them.
+// Resource Manager” (§4.2). The policy is an atomic value: a flip never
+// stalls concurrent submissions, and each decision uses the policy it
+// loaded on entry. Existing effective settings are not recomputed until
+// the next submission touches them.
 func (m *Manager) SetPolicy(p Policy) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.policy = p
+	m.policy.Store(int32(p))
 }
 
 // SetDefaultConstraints applies c to every sensor without specific
 // constraints.
 func (m *Manager) SetDefaultConstraints(c Constraints) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.defaults = c
-	m.hasDefaults = true
+	m.defaults.Store(&c)
 }
 
 // SetConstraints codifies the limits of one sensor.
 func (m *Manager) SetConstraints(sensor wire.SensorID, c Constraints) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.constraints[sensor] = c
+	sh := m.shardFor(sensor)
+	sh.mu.Lock()
+	sh.constraints[sensor] = c
+	sh.mu.Unlock()
 }
 
-func (m *Manager) constraintsFor(sensor wire.SensorID) (Constraints, bool) {
-	if c, ok := m.constraints[sensor]; ok {
-		return c, true
+// validate screens a demand before it reaches the ledger; class is the
+// demand's mediation class from ClassOf.
+func validate(d Demand, class Class) error {
+	if d.Consumer == "" {
+		return fmt.Errorf("%w: empty consumer", ErrBadDemand)
 	}
-	if m.hasDefaults {
-		return m.defaults, true
+	if class == ClassRate && d.Value == 0 {
+		return fmt.Errorf("%w: zero rate", ErrBadDemand)
 	}
-	return Constraints{}, false
+	if class == ClassPayload && (d.Value == 0 || d.Value > wire.MaxPayload) {
+		return fmt.Errorf("%w: payload limit %d", ErrBadDemand, d.Value)
+	}
+	return nil
 }
 
 // Submit runs admission control for one demand. Approved and modified
 // demands join the standing ledger; the decision reports the effective
-// setting and whether actuation is needed.
+// setting and whether actuation is needed. The fast path — an approved
+// resubmission that leaves the effective setting unchanged — takes one
+// shard lock and allocates nothing.
 func (m *Manager) Submit(d Demand) (Decision, error) {
-	if d.Consumer == "" {
-		return Decision{}, fmt.Errorf("%w: empty consumer", ErrBadDemand)
-	}
 	class, ok := ClassOf(d.Op)
 	if !ok {
 		return Decision{}, fmt.Errorf("%w: op %v needs no mediation", ErrBadDemand, d.Op)
 	}
-	if class == ClassRate && d.Value == 0 {
-		return Decision{}, fmt.Errorf("%w: zero rate", ErrBadDemand)
+	if err := validate(d, class); err != nil {
+		return Decision{}, err
 	}
-	if class == ClassPayload && (d.Value == 0 || d.Value > wire.MaxPayload) {
-		return Decision{}, fmt.Errorf("%w: payload limit %d", ErrBadDemand, d.Value)
-	}
-	m.submitted.Inc()
+	policy := m.Policy()
+	sh := m.shardFor(d.Target.Sensor())
+	sh.mu.Lock()
+	dec := m.submitLocked(sh, d, class, policy)
+	sh.mu.Unlock()
+	return dec, nil
+}
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// submitLocked runs the admission/mediation core for a pre-validated
+// demand. Caller holds sh.mu.
+func (m *Manager) submitLocked(sh *mshard, d Demand, class Class, policy Policy) Decision {
+	sh.submitted++
 
 	// Hard constraint screening that cannot be satisfied by clamping.
-	cons, hasCons := m.constraintsFor(d.Target.Sensor())
+	cons, hasCons := sh.constraintsFor(m, d.Target.Sensor())
 	if hasCons {
 		if class == ClassEnable && d.Op == wire.OpEnableStream && cons.MaxActiveStreams > 0 {
-			if active := m.activeStreamsLocked(d.Target.Sensor(), d.Target); active >= cons.MaxActiveStreams {
-				m.denied.Inc()
+			if active := sh.activeStreamsLocked(d.Target.Sensor(), d.Target); active >= cons.MaxActiveStreams {
+				sh.denied++
 				return Decision{
 					Verdict: VerdictDenied,
 					Reason:  fmt.Sprintf("sensor constraint streams<=%d", cons.MaxActiveStreams),
-				}, nil
+				}
 			}
 		}
 	}
 
 	key := ledgerKey{target: d.Target, class: class}
-	e, exists := m.ledger[key]
+	e, exists := sh.ledger[key]
 	if !exists {
 		e = &entry{demands: make(map[string]Demand)}
-		m.ledger[key] = e
+		sh.ledger[key] = e
 	}
 
-	if m.policy == PolicyFirstComeDeny {
+	if policy == PolicyFirstComeDeny {
 		for owner, other := range e.demands {
 			if owner != d.Consumer && conflicts(class, other, d) {
-				m.denied.Inc()
+				sh.denied++
 				return Decision{
 					Verdict: VerdictDenied,
 					Reason: fmt.Sprintf("conflicts with standing demand of %q (%s)",
 						owner, describeDemand(class, other)),
-				}, nil
+				}
 			}
 		}
 	}
 
 	if _, had := e.demands[d.Consumer]; !had {
 		e.order = append(e.order, d.Consumer)
+		sh.ownKey(d.Consumer, key)
 	}
 	e.demands[d.Consumer] = d
 
-	return m.decideLocked(key, e, &d, cons, hasCons), nil
+	return decide(sh, key, e, &d, cons, hasCons, policy)
 }
 
 // Withdraw removes one consumer's standing demand on a (target, class) and
@@ -330,10 +366,18 @@ func (m *Manager) Submit(d Demand) (Decision, error) {
 // relaxation is actuated — the sensor keeps its last setting, matching the
 // paper's minimal-sensor model (no implicit defaults on the device).
 func (m *Manager) Withdraw(consumer string, target wire.StreamID, class Class) (Decision, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	policy := m.Policy()
+	sh := m.shardFor(target.Sensor())
+	sh.mu.Lock()
+	dec, ok := m.withdrawLocked(sh, consumer, target, class, policy)
+	sh.mu.Unlock()
+	return dec, ok
+}
+
+// withdrawLocked is the locked core of Withdraw. Caller holds sh.mu.
+func (m *Manager) withdrawLocked(sh *mshard, consumer string, target wire.StreamID, class Class, policy Policy) (Decision, bool) {
 	key := ledgerKey{target: target, class: class}
-	e, ok := m.ledger[key]
+	e, ok := sh.ledger[key]
 	if !ok {
 		return Decision{}, false
 	}
@@ -347,48 +391,116 @@ func (m *Manager) Withdraw(consumer string, target wire.StreamID, class Class) (
 			break
 		}
 	}
-	m.withdrawn.Inc()
+	sh.disownKey(consumer, key)
+	sh.withdrawn++
 	if len(e.demands) == 0 {
-		delete(m.ledger, key)
+		delete(sh.ledger, key)
 		return Decision{Verdict: VerdictApproved, Effective: e.effective}, true
 	}
-	cons, hasCons := m.constraintsFor(target.Sensor())
-	return m.decideLocked(key, e, nil, cons, hasCons), true
+	cons, hasCons := sh.constraintsFor(m, target.Sensor())
+	return decide(sh, key, e, nil, cons, hasCons, policy), true
 }
 
 // WithdrawAll removes every standing demand of a consumer (a consumer
 // leaving the system) and returns the actions needed to re-actuate the
-// affected streams.
+// affected streams. Each shard is visited once, its keys withdrawn in
+// (target, class) order under a single lock acquisition.
 func (m *Manager) WithdrawAll(consumer string) []Action {
-	m.mu.Lock()
-	keys := make([]ledgerKey, 0)
-	for key, e := range m.ledger {
-		if _, ok := e.demands[consumer]; ok {
-			keys = append(keys, key)
-		}
-	}
-	m.mu.Unlock()
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].target != keys[j].target {
-			return keys[i].target < keys[j].target
-		}
-		return keys[i].class < keys[j].class
-	})
+	policy := m.Policy()
 	var actions []Action
-	for _, key := range keys {
-		if dec, ok := m.Withdraw(consumer, key.target, key.class); ok && dec.Changed && dec.Action != nil {
-			actions = append(actions, *dec.Action)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, key := range sh.ownedKeysLocked(consumer) {
+			if dec, ok := m.withdrawLocked(sh, consumer, key.target, key.class, policy); ok && dec.Changed && dec.Action != nil {
+				actions = append(actions, *dec.Action)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return actions
 }
 
-// decideLocked merges the entry's demands under the current policy, clamps
-// to constraints, updates the effective setting, and builds the Decision.
-// submitted is the demand that triggered the decision (nil for
-// withdrawals).
-func (m *Manager) decideLocked(key ledgerKey, e *entry, submitted *Demand, cons Constraints, hasCons bool) Decision {
-	merged := m.mergeLocked(key.class, e)
+// Apply replaces every standing demand held under owner with the given
+// set and returns the actions needed to re-actuate the streams whose
+// effective settings changed — the Super Coordinator's demand sink.
+// Demands in the set are submitted (tagged with owner as their consumer);
+// standing demands of owner absent from the set are withdrawn. The work
+// fans out per shard: every shard is peeked under its own lock (a
+// constant-time ownership check), but withdrawals and submissions run
+// only in the shards the owner actually touches, each under a single
+// shard-local lock acquisition — so a state report touching K streams
+// never serialises behind unrelated owners' demands on other sensors.
+// Invalid demands are skipped, matching the fire-and-forget contract of
+// the coordinator path.
+func (m *Manager) Apply(owner string, demands []Demand) []Action {
+	if owner == "" {
+		return nil
+	}
+	policy := m.Policy()
+
+	// Dedupe on (target, class) — the last demand for a key wins — and
+	// group the additions by home shard. Demands that fail validation
+	// still claim their key (so an owner's standing demand is not
+	// withdrawn just because its replacement was malformed — the
+	// fire-and-forget contract drops the bad value, not the stream) but
+	// are never submitted.
+	next := make(map[ledgerKey]Demand, len(demands))
+	invalid := make(map[ledgerKey]bool)
+	for _, d := range demands {
+		class, ok := ClassOf(d.Op)
+		if !ok {
+			continue
+		}
+		d.Consumer = owner
+		key := ledgerKey{target: d.Target, class: class}
+		next[key] = d
+		invalid[key] = validate(d, class) != nil
+	}
+	perShard := make(map[int][]ledgerKey, len(m.shards))
+	for key := range next {
+		idx := key.target.Sensor().Shard(len(m.shards))
+		perShard[idx] = append(perShard[idx], key)
+	}
+
+	var actions []Action
+	for i, sh := range m.shards {
+		adds := perShard[i]
+		sortLedgerKeys(adds)
+		sh.mu.Lock()
+		if len(adds) == 0 && len(sh.owners[owner]) == 0 {
+			sh.mu.Unlock()
+			continue
+		}
+		// Withdraw the owner's demands that are no longer in the set.
+		for _, key := range sh.ownedKeysLocked(owner) {
+			if _, still := next[key]; still {
+				continue
+			}
+			if dec, ok := m.withdrawLocked(sh, owner, key.target, key.class, policy); ok && dec.Changed && dec.Action != nil {
+				actions = append(actions, *dec.Action)
+			}
+		}
+		// Submit the new set.
+		for _, key := range adds {
+			if invalid[key] {
+				continue
+			}
+			dec := m.submitLocked(sh, next[key], key.class, policy)
+			if dec.Changed && dec.Action != nil {
+				actions = append(actions, *dec.Action)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return actions
+}
+
+// decide merges the entry's demands under policy, clamps to constraints,
+// updates the effective setting, and builds the Decision. submitted is
+// the demand that triggered the decision (nil for withdrawals). Caller
+// holds sh.mu.
+func decide(sh *mshard, key ledgerKey, e *entry, submitted *Demand, cons Constraints, hasCons bool, policy Policy) Decision {
+	merged := merge(policy, key.class, e)
 	clamped, clampReason := merged, ""
 	if hasCons {
 		clamped, clampReason = cons.clamp(key.class, merged)
@@ -421,14 +533,14 @@ func (m *Manager) decideLocked(key ledgerKey, e *entry, submitted *Demand, cons 
 		dec.Verdict = VerdictApproved
 	case demandSatisfied(key.class, *submitted, clamped):
 		dec.Verdict = VerdictApproved
-		m.approved.Inc()
+		sh.approved++
 	default:
 		dec.Verdict = VerdictModified
-		dec.Reason = fmt.Sprintf("mediated under %v policy", m.policy)
+		dec.Reason = fmt.Sprintf("mediated under %v policy", policy)
 		if clampReason != "" {
 			dec.Reason = clampReason
 		}
-		m.modified.Inc()
+		sh.modified++
 	}
 	return dec
 }
@@ -446,41 +558,38 @@ func demandSatisfied(class Class, d Demand, effective uint32) bool {
 	}
 }
 
-// mergeLocked folds the demands of one entry into a single value under the
-// current policy (rate mHz / payload bytes / 0-1 for enable).
-func (m *Manager) mergeLocked(class Class, e *entry) uint32 {
-	values := make([]uint32, 0, len(e.demands))
-	prios := make([]int, 0, len(e.demands))
-	for _, name := range e.order {
-		d := e.demands[name]
-		values = append(values, demandValue(class, d))
-		prios = append(prios, d.Priority)
-	}
-	switch m.policy {
+// merge folds the demands of one entry into a single value under policy
+// (rate mHz / payload bytes / 0-1 for enable). It walks the arrival order
+// directly — no scratch slices — so the decision path allocates nothing.
+func merge(policy Policy, class Class, e *entry) uint32 {
+	switch policy {
 	case PolicyLeastDemanding:
-		v := values[0]
-		for _, x := range values[1:] {
-			if x < v {
+		v := demandValue(class, e.demands[e.order[0]])
+		for _, name := range e.order[1:] {
+			if x := demandValue(class, e.demands[name]); x < v {
 				v = x
 			}
 		}
 		return v
 	case PolicyPriority:
-		best, bestPrio := values[0], prios[0]
-		for i := 1; i < len(values); i++ {
-			if prios[i] > bestPrio || (prios[i] == bestPrio && values[i] > best) {
-				best, bestPrio = values[i], prios[i]
+		first := e.demands[e.order[0]]
+		best, bestPrio := demandValue(class, first), first.Priority
+		for _, name := range e.order[1:] {
+			d := e.demands[name]
+			x := demandValue(class, d)
+			if d.Priority > bestPrio || (d.Priority == bestPrio && x > best) {
+				best, bestPrio = x, d.Priority
 			}
 		}
 		return best
 	case PolicyFirstComeDeny:
 		// Conflicts were denied on entry; all demands agree (or are from
 		// the same consumer, whose latest value stands).
-		return values[len(values)-1]
+		return demandValue(class, e.demands[e.order[len(e.order)-1]])
 	default: // PolicyMostDemanding
-		v := values[0]
-		for _, x := range values[1:] {
-			if x > v {
+		v := demandValue(class, e.demands[e.order[0]])
+		for _, name := range e.order[1:] {
+			if x := demandValue(class, e.demands[name]); x > v {
 				v = x
 			}
 		}
@@ -511,24 +620,12 @@ func describeDemand(class Class, d Demand) string {
 	}
 }
 
-// activeStreamsLocked counts streams of a sensor whose effective enable
-// setting is on, excluding `except`.
-func (m *Manager) activeStreamsLocked(sensor wire.SensorID, except wire.StreamID) int {
-	n := 0
-	for key, e := range m.ledger {
-		if key.class == ClassEnable && key.target.Sensor() == sensor &&
-			key.target != except && e.valid && e.effective == 1 {
-			n++
-		}
-	}
-	return n
-}
-
 // Effective returns the current effective setting for (target, class).
 func (m *Manager) Effective(target wire.StreamID, class Class) (uint32, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e, ok := m.ledger[ledgerKey{target: target, class: class}]
+	sh := m.shardFor(target.Sensor())
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.ledger[ledgerKey{target: target, class: class}]
 	if !ok || !e.valid {
 		return 0, false
 	}
@@ -547,17 +644,20 @@ type StreamOverview struct {
 // Overview returns the approximate sensor-configuration overview: every
 // ledger entry with its effective setting, sorted by stream then class.
 func (m *Manager) Overview() []StreamOverview {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]StreamOverview, 0, len(m.ledger))
-	for key, e := range m.ledger {
-		out = append(out, StreamOverview{
-			Target:   key.target,
-			Class:    key.class,
-			Demands:  len(e.demands),
-			Setting:  e.effective,
-			Policies: m.policy,
-		})
+	policy := m.Policy()
+	var out []StreamOverview
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for key, e := range sh.ledger {
+			out = append(out, StreamOverview{
+				Target:   key.target,
+				Class:    key.class,
+				Demands:  len(e.demands),
+				Setting:  e.effective,
+				Policies: policy,
+			})
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Target != out[j].Target {
@@ -568,17 +668,18 @@ func (m *Manager) Overview() []StreamOverview {
 	return out
 }
 
-// Stats returns a snapshot of manager counters.
+// Stats returns a snapshot of manager counters summed across shards.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	ledger := len(m.ledger)
-	m.mu.Unlock()
-	return Stats{
-		Submitted:   m.submitted.Value(),
-		Approved:    m.approved.Value(),
-		Modified:    m.modified.Value(),
-		Denied:      m.denied.Value(),
-		Withdrawals: m.withdrawn.Value(),
-		Ledger:      ledger,
+	st := Stats{Shards: len(m.shards)}
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		st.Submitted += sh.submitted
+		st.Approved += sh.approved
+		st.Modified += sh.modified
+		st.Denied += sh.denied
+		st.Withdrawals += sh.withdrawn
+		st.Ledger += len(sh.ledger)
+		sh.mu.Unlock()
 	}
+	return st
 }

@@ -1,0 +1,126 @@
+package resource
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// mshard is one partition of the demand ledger. The partition key is the
+// sensor component of the demand's target StreamID — the same
+// wire.SensorID.Shard function the Filtering and Dispatching Services
+// partition on — so every (stream, class) entry of a sensor lands in one
+// shard and a Submit or Withdraw takes exactly one shard mutex. Sensor
+// constraints are keyed by sensor too, so they live in the sensor's home
+// shard and constraint lookups never leave the shard; only the
+// deployment-wide defaults and the mediation policy are global, and both
+// are atomic values read without any lock.
+type mshard struct {
+	mu     sync.Mutex
+	ledger map[ledgerKey]*entry
+	// constraints holds the codified limits of the sensors homed here.
+	constraints map[wire.SensorID]Constraints
+	// owners indexes the ledger keys each consumer holds a standing
+	// demand on, so WithdrawAll and Apply replace a consumer's demand set
+	// without scanning the ledger. This is the single source of truth for
+	// demand ownership — the deployment core keeps no duplicate map.
+	owners map[string]map[ledgerKey]struct{}
+
+	// Hot-path counters are plain ints mutated only under mu — cheaper
+	// than atomics on every submission, and shard-locality keeps
+	// unrelated consumers off each other's cache lines. Stats sums them.
+	submitted int64
+	approved  int64
+	modified  int64
+	denied    int64
+	withdrawn int64
+}
+
+func newShards(n int) []*mshard {
+	shards := make([]*mshard, n)
+	for i := range shards {
+		shards[i] = &mshard{
+			ledger:      make(map[ledgerKey]*entry),
+			constraints: make(map[wire.SensorID]Constraints),
+			owners:      make(map[string]map[ledgerKey]struct{}),
+		}
+	}
+	return shards
+}
+
+// shardFor picks a sensor's home shard.
+func (m *Manager) shardFor(sensor wire.SensorID) *mshard {
+	return m.shards[sensor.Shard(len(m.shards))]
+}
+
+// constraintsFor resolves the constraints in force for a sensor: its own
+// codified limits, else the deployment defaults. Caller holds sh.mu (the
+// defaults pointer itself is atomic and needs no lock).
+func (sh *mshard) constraintsFor(m *Manager, sensor wire.SensorID) (Constraints, bool) {
+	if c, ok := sh.constraints[sensor]; ok {
+		return c, true
+	}
+	if p := m.defaults.Load(); p != nil {
+		return *p, true
+	}
+	return Constraints{}, false
+}
+
+// ownKey records that consumer holds a standing demand on key. Caller
+// holds sh.mu.
+func (sh *mshard) ownKey(consumer string, key ledgerKey) {
+	set := sh.owners[consumer]
+	if set == nil {
+		set = make(map[ledgerKey]struct{})
+		sh.owners[consumer] = set
+	}
+	set[key] = struct{}{}
+}
+
+// disownKey removes key from consumer's owned set. Caller holds sh.mu.
+func (sh *mshard) disownKey(consumer string, key ledgerKey) {
+	set := sh.owners[consumer]
+	delete(set, key)
+	if len(set) == 0 {
+		delete(sh.owners, consumer)
+	}
+}
+
+// ownedKeysLocked returns consumer's keys in this shard, sorted by
+// (target, class) for deterministic withdrawal order. Caller holds sh.mu.
+func (sh *mshard) ownedKeysLocked(consumer string) []ledgerKey {
+	set := sh.owners[consumer]
+	if len(set) == 0 {
+		return nil
+	}
+	keys := make([]ledgerKey, 0, len(set))
+	for key := range set {
+		keys = append(keys, key)
+	}
+	sortLedgerKeys(keys)
+	return keys
+}
+
+func sortLedgerKeys(keys []ledgerKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].target != keys[j].target {
+			return keys[i].target < keys[j].target
+		}
+		return keys[i].class < keys[j].class
+	})
+}
+
+// activeStreamsLocked counts streams of a sensor whose effective enable
+// setting is on, excluding `except`. Every stream of a sensor is homed in
+// the sensor's shard, so the scan never leaves it. Caller holds sh.mu.
+func (sh *mshard) activeStreamsLocked(sensor wire.SensorID, except wire.StreamID) int {
+	n := 0
+	for key, e := range sh.ledger {
+		if key.class == ClassEnable && key.target.Sensor() == sensor &&
+			key.target != except && e.valid && e.effective == 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -123,6 +123,13 @@ type streamState struct {
 	limit   int
 	enabled bool
 	ticker  *sim.Ticker
+	// lastSet holds, per mediated setting (rate, enable, payload), the
+	// issue timestamp of the last applied control message. The downlink
+	// has no ordering guarantee — jitter can reorder transmissions, and a
+	// retry of a superseded request can reach the air after its
+	// replacement — so the device applies settings in issue order, not
+	// arrival order: anything older than the last applied is ignored.
+	lastSet [3]time.Time
 }
 
 // Node is one simulated sensor/actuator.
@@ -424,8 +431,39 @@ func (n *Node) onDownlink(f radio.Frame) {
 	}
 }
 
+// settingIdx maps a mediated operation to its streamState.lastSet slot;
+// mediated is false for operations outside staleness ordering (ping,
+// device params).
+func settingIdx(op wire.Op) (idx int, mediated bool) {
+	switch op {
+	case wire.OpSetRate:
+		return 0, true
+	case wire.OpEnableStream, wire.OpDisableStream:
+		return 1, true
+	case wire.OpSetPayloadLimit:
+		return 2, true
+	default:
+		return 0, false
+	}
+}
+
 func (n *Node) applyLocked(ctrl wire.ControlMessage) bool {
 	st, ok := n.streams[ctrl.Target.Index()]
+	idx, mediated := settingIdx(ctrl.Op)
+	if mediated && ok && ctrl.Issued.Before(st.lastSet[idx]) {
+		// Stale by issue order: a newer setting for this slot has already
+		// been applied. Ignored without an ack, so the middleware retires
+		// the stale request through its own supersede/expiry accounting.
+		return false
+	}
+	applied := n.applyOpLocked(st, ok, ctrl)
+	if applied && mediated {
+		st.lastSet[idx] = ctrl.Issued
+	}
+	return applied
+}
+
+func (n *Node) applyOpLocked(st *streamState, ok bool, ctrl wire.ControlMessage) bool {
 	switch ctrl.Op {
 	case wire.OpPing:
 		return true // reachability probe acks regardless of stream state

@@ -594,3 +594,80 @@ func TestStatsSnapshot(t *testing.T) {
 		t.Error("BytesSent should be non-zero")
 	}
 }
+
+// sendControlAt broadcasts a control message with an explicit issue
+// timestamp (sendControl stamps clock.Now()), for simulating downlink
+// reordering: a delayed retransmission arriving after a newer setting.
+func sendControlAt(t *testing.T, medium *radio.Medium, c wire.ControlMessage, issued time.Time) {
+	t.Helper()
+	c.Issued = issued
+	frame, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	medium.Broadcast(radio.BandDownlink, geo.Pt(0, 0), 1e9, frame)
+}
+
+// The downlink has no ordering guarantee: jitter (or a retry of a
+// superseded request) can deliver an older setting after a newer one.
+// The node must apply settings in issue order — a control message whose
+// issue timestamp is older than the last applied for the same setting is
+// ignored and not acked, so the stale value can never revert the sensor.
+func TestStaleControlIgnoredByIssueOrder(t *testing.T) {
+	clock, medium, _ := testRig(t)
+	cfg := basicConfig(9)
+	cfg.Capabilities = CapReceive
+	n, err := New(clock, medium, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	defer n.Stop()
+
+	target := wire.MustStreamID(9, 0)
+	newer := clock.Now().Add(2 * time.Second)
+	older := clock.Now().Add(1 * time.Second)
+
+	// The newer setting (4 Hz) arrives first.
+	sendControlAt(t, medium, wire.ControlMessage{
+		UpdateID: 2, Target: target, Op: wire.OpSetRate, Value: 4000,
+	}, newer)
+	clock.Advance(time.Millisecond)
+	if p, _ := n.StreamPeriod(0); p != 250*time.Millisecond {
+		t.Fatalf("period = %v, want 250ms", p)
+	}
+
+	// The older setting (10 Hz) is a delayed retransmission: stale, ignored.
+	sendControlAt(t, medium, wire.ControlMessage{
+		UpdateID: 1, Target: target, Op: wire.OpSetRate, Value: 10_000,
+	}, older)
+	clock.Advance(time.Millisecond)
+	if p, _ := n.StreamPeriod(0); p != 250*time.Millisecond {
+		t.Fatalf("period = %v after stale control, want 250ms kept", p)
+	}
+	st := n.Stats()
+	if st.ControlsApplied != 1 || st.ControlsIgnored != 1 {
+		t.Fatalf("controls: applied=%d ignored=%d, want 1/1", st.ControlsApplied, st.ControlsIgnored)
+	}
+
+	// A retransmission of the applied setting (equal timestamp) still
+	// applies and re-acks — duplicate deliveries of a retried request
+	// must keep acking, or the middleware would retry forever.
+	sendControlAt(t, medium, wire.ControlMessage{
+		UpdateID: 2, Target: target, Op: wire.OpSetRate, Value: 4000,
+	}, newer)
+	clock.Advance(time.Millisecond)
+	if st := n.Stats(); st.ControlsApplied != 2 || st.ControlsIgnored != 1 {
+		t.Fatalf("controls after dup: applied=%d ignored=%d, want 2/1", st.ControlsApplied, st.ControlsIgnored)
+	}
+
+	// Ordering is per setting: an older-stamped control for a different
+	// setting class (payload limit) is not stale.
+	sendControlAt(t, medium, wire.ControlMessage{
+		UpdateID: 3, Target: target, Op: wire.OpSetPayloadLimit, Value: 8,
+	}, older)
+	clock.Advance(time.Millisecond)
+	if st := n.Stats(); st.ControlsApplied != 3 {
+		t.Fatalf("payload control: applied=%d, want 3", st.ControlsApplied)
+	}
+}

@@ -268,9 +268,10 @@ type (
 
 // Actuation outcomes.
 const (
-	OutcomeAcked     = actuation.OutcomeAcked
-	OutcomeExpired   = actuation.OutcomeExpired
-	OutcomeCancelled = actuation.OutcomeCancelled
+	OutcomeAcked      = actuation.OutcomeAcked
+	OutcomeExpired    = actuation.OutcomeExpired
+	OutcomeCancelled  = actuation.OutcomeCancelled
+	OutcomeSuperseded = actuation.OutcomeSuperseded
 )
 
 // Super Coordinator.
