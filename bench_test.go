@@ -530,6 +530,11 @@ func BenchmarkE15DenseFieldBroadcast(b *testing.B) { benchExperiment(b, "E15") }
 // BenchmarkX1MultiHopRelaying regenerates the §8 extension table.
 func BenchmarkX1MultiHopRelaying(b *testing.B) { benchExperiment(b, "X1") }
 
+// BenchmarkE17LateJoinerStorm regenerates the late-joiner replay table
+// (M consumers joining mid-run with SubscribeWithReplay while publishers
+// keep writing).
+func BenchmarkE17LateJoinerStorm(b *testing.B) { benchExperiment(b, "E17") }
+
 // BenchmarkE16DemandStorm regenerates the control-plane demand-storm
 // table (concurrent consumers churning demands plus live data traffic).
 func BenchmarkE16DemandStorm(b *testing.B) { benchExperiment(b, "E16") }

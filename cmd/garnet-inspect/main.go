@@ -3,38 +3,62 @@
 // fields. It is the debugging loupe for anything captured off the
 // simulated medium.
 //
+// The -store mode feeds every decoded data frame through an in-memory
+// Stream Store and prints the resulting retention view: per-stream
+// 64-bit extended sequences (the store's wrap-free addresses), window
+// bounds and what a replaying consumer would receive — the quickest way
+// to see how a captured trace lands in the retention layer, including
+// duplicate collapse and eviction under a chosen retention bound.
+//
 // Usage:
 //
-//	garnet-inspect 4a00000...            # decode a data frame
-//	garnet-inspect -control 40001...     # decode a control frame
-//	echo 4a0000... | garnet-inspect      # read hex from stdin
+//	garnet-inspect 4a00000...              # decode a data frame
+//	garnet-inspect -control 40001...       # decode a control frame
+//	garnet-inspect -store -retain 4 f1 f2  # retention view of a trace
+//	echo 4a0000... | garnet-inspect        # read hex from stdin
 package main
 
 import (
 	"bufio"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"github.com/garnet-middleware/garnet/internal/filtering"
+	"github.com/garnet-middleware/garnet/internal/store"
 	"github.com/garnet-middleware/garnet/internal/wire"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "garnet-inspect: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	control := flag.Bool("control", false, "decode as a downlink control message")
-	flag.Parse()
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("garnet-inspect", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	control := fs.Bool("control", false, "decode as downlink control messages")
+	storeDump := fs.Bool("store", false, "feed data frames through a Stream Store and dump the retention view")
+	retain := fs.Int("retain", 0, "per-stream retention bound for -store (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not an error
+		}
+		return err
+	}
+	if *control && *storeDump {
+		return fmt.Errorf("-control and -store are mutually exclusive")
+	}
 
-	inputs := flag.Args()
+	inputs := fs.Args()
 	if len(inputs) == 0 {
-		scanner := bufio.NewScanner(os.Stdin)
+		scanner := bufio.NewScanner(stdin)
 		for scanner.Scan() {
 			line := strings.TrimSpace(scanner.Text())
 			if line != "" {
@@ -48,70 +72,118 @@ func run() error {
 	if len(inputs) == 0 {
 		return fmt.Errorf("no frames given (args or stdin)")
 	}
+	frames := make([][]byte, 0, len(inputs))
 	for _, in := range inputs {
 		frame, err := hex.DecodeString(strings.ReplaceAll(in, " ", ""))
 		if err != nil {
 			return fmt.Errorf("bad hex %q: %w", in, err)
 		}
+		frames = append(frames, frame)
+	}
+	if *storeDump {
+		return inspectStore(stdout, frames, *retain)
+	}
+	for _, frame := range frames {
 		if *control {
-			if err := inspectControl(frame); err != nil {
+			if err := inspectControl(stdout, frame); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := inspectData(frame); err != nil {
+		if err := inspectData(stdout, frame); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func inspectData(frame []byte) error {
+func inspectData(w io.Writer, frame []byte) error {
 	msg, n, err := wire.DecodeMessage(frame)
 	if err != nil {
 		return fmt.Errorf("data frame: %w", err)
 	}
-	fmt.Printf("data message (%d bytes)\n", n)
-	fmt.Printf("  stream   %v (sensor %d, internal stream %d)\n", msg.Stream, msg.Stream.Sensor(), msg.Stream.Index())
-	fmt.Printf("  seq      %d\n", msg.Seq)
-	fmt.Printf("  flags    %v\n", msg.Flags)
+	fmt.Fprintf(w, "data message (%d bytes)\n", n)
+	fmt.Fprintf(w, "  stream   %v (sensor %d, internal stream %d)\n", msg.Stream, msg.Stream.Sensor(), msg.Stream.Index())
+	fmt.Fprintf(w, "  seq      %d\n", msg.Seq)
+	fmt.Fprintf(w, "  flags    %v\n", msg.Flags)
 	if msg.Flags.Has(wire.FlagUpdateAck) {
-		fmt.Printf("  ack-id   %d\n", msg.AckID)
+		fmt.Fprintf(w, "  ack-id   %d\n", msg.AckID)
 	}
 	if msg.Flags.Has(wire.FlagRelayed) {
-		fmt.Printf("  hops     %d\n", msg.HopCount)
+		fmt.Fprintf(w, "  hops     %d\n", msg.HopCount)
 	}
 	if msg.Flags.Has(wire.FlagFused) {
-		fmt.Printf("  fused    %d sources\n", msg.FusedCount)
+		fmt.Fprintf(w, "  fused    %d sources\n", msg.FusedCount)
 	}
-	fmt.Printf("  payload  %d bytes", len(msg.Payload))
+	fmt.Fprintf(w, "  payload  %d bytes", len(msg.Payload))
 	if len(msg.Payload) > 0 {
 		limit := len(msg.Payload)
 		if limit > 32 {
 			limit = 32
 		}
-		fmt.Printf(": % x", msg.Payload[:limit])
+		fmt.Fprintf(w, ": % x", msg.Payload[:limit])
 		if limit < len(msg.Payload) {
-			fmt.Printf(" …")
+			fmt.Fprintf(w, " …")
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	return nil
 }
 
-func inspectControl(frame []byte) error {
+func inspectControl(w io.Writer, frame []byte) error {
 	c, err := wire.DecodeControl(frame)
 	if err != nil {
 		return fmt.Errorf("control frame: %w", err)
 	}
-	fmt.Printf("control message (%d bytes)\n", wire.ControlSize)
-	fmt.Printf("  update-id %d\n", c.UpdateID)
-	fmt.Printf("  target    %v (sensor %d, internal stream %d)\n", c.Target, c.Target.Sensor(), c.Target.Index())
-	fmt.Printf("  op        %v\n", c.Op)
+	fmt.Fprintf(w, "control message (%d bytes)\n", wire.ControlSize)
+	fmt.Fprintf(w, "  update-id %d\n", c.UpdateID)
+	fmt.Fprintf(w, "  target    %v (sensor %d, internal stream %d)\n", c.Target, c.Target.Sensor(), c.Target.Index())
+	fmt.Fprintf(w, "  op        %v\n", c.Op)
 	if c.Op == wire.OpSetParam {
-		fmt.Printf("  param     %d\n", c.Param)
+		fmt.Fprintf(w, "  param     %d\n", c.Param)
 	}
-	fmt.Printf("  value     %d\n", c.Value)
-	fmt.Printf("  issued    %v\n", c.Issued)
+	fmt.Fprintf(w, "  value     %d\n", c.Value)
+	fmt.Fprintf(w, "  issued    %v\n", c.Issued)
+	return nil
+}
+
+// inspectStore appends every decoded data frame into a fresh Stream Store
+// and dumps the retention view it produces.
+func inspectStore(w io.Writer, frames [][]byte, retain int) error {
+	st := store.New(store.Options{Shards: 1, MaxMessages: retain})
+	for i, frame := range frames {
+		msg, _, err := wire.DecodeMessage(frame)
+		if err != nil {
+			return fmt.Errorf("data frame %d: %w", i+1, err)
+		}
+		st.Append(filtering.Delivery{Msg: msg, Receiver: "inspect", RSSI: 1})
+	}
+	stats := st.Stats()
+	streams := st.Streams()
+	fmt.Fprintf(w, "stream store dump: %d frames in, %d streams, %d retained messages, %d payload bytes\n",
+		stats.Appended, len(streams), stats.RetainedMessages, stats.RetainedBytes)
+	if evicted := stats.EvictedCount + stats.EvictedBytes + stats.EvictedAge; evicted > 0 || stats.DroppedBehind > 0 {
+		fmt.Fprintf(w, "  evicted %d, dropped-behind %d\n", evicted, stats.DroppedBehind)
+	}
+	for _, id := range streams {
+		ss, _ := st.StreamStats(id)
+		fmt.Fprintf(w, "stream %v: %d retained, store seq %d..%d, next wire seq %d, %d B\n",
+			id, ss.Count, ss.FirstSeq, ss.LastSeq, ss.NextWire, ss.Bytes)
+		st.RangeFunc(id, 0, ^uint64(0), func(d filtering.Delivery) bool {
+			fmt.Fprintf(w, "  seq %-8d wire %-5d flags %-10v %d B", d.StoreSeq, d.Msg.Seq, d.Msg.Flags, len(d.Msg.Payload))
+			if len(d.Msg.Payload) > 0 {
+				limit := len(d.Msg.Payload)
+				if limit > 16 {
+					limit = 16
+				}
+				fmt.Fprintf(w, ": % x", d.Msg.Payload[:limit])
+				if limit < len(d.Msg.Payload) {
+					fmt.Fprintf(w, " …")
+				}
+			}
+			fmt.Fprintln(w)
+			return true
+		})
+	}
 	return nil
 }

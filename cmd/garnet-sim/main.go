@@ -142,6 +142,9 @@ func run() error {
 		s.Filter.Gaps, s.Filter.GapsRecovered, s.Filter.ActiveStreams)
 	fmt.Printf("dispatching dispatched=%d delivered=%d orphaned=%d\n",
 		s.Dispatch.Dispatched, s.Dispatch.Delivered, s.Dispatch.Orphaned)
+	fmt.Printf("store       streams=%d retained=%d bytes=%d evicted=%d\n",
+		s.Store.Streams, s.Store.RetainedMessages, s.Store.RetainedBytes,
+		s.Store.EvictedCount+s.Store.EvictedBytes+s.Store.EvictedAge)
 	fmt.Printf("orphanage   streams=%d held=%d evicted=%d\n",
 		s.Orphanage.StreamsHeld, s.Orphanage.MessagesHeld, s.Orphanage.StreamsEvicted)
 	fmt.Printf("resource    submitted=%d approved=%d modified=%d denied=%d\n",

@@ -135,6 +135,32 @@ func WithReorderWindow(d time.Duration) Option {
 	return func(cfg *core.Config) { cfg.Filter.ReorderWindow = d }
 }
 
+// WithStoreRetention bounds the Stream Store's per-stream retained
+// history: at most maxMessages deliveries (<= 0 keeps the default, 256),
+// at most maxBytes of payload (<= 0 unbounded) and nothing older than
+// maxAge (<= 0 unbounded). Every accepted delivery tees into the store
+// before dispatch, so these bounds are the memory-vs-catch-up trade-off
+// for Replay, SubscribeWithReplay and the Orphanage backlog (see README,
+// "Retention & replay tuning"). maxMessages is raised to at least the
+// Orphanage's per-stream capacity so orphan claims always find their
+// full backlog.
+func WithStoreRetention(maxMessages int, maxBytes int64, maxAge time.Duration) Option {
+	return func(cfg *core.Config) {
+		cfg.Store.MaxMessages = maxMessages
+		cfg.Store.MaxBytes = maxBytes
+		cfg.Store.MaxAge = maxAge
+	}
+}
+
+// WithStoreShards partitions the Stream Store's per-stream retention
+// state into n shards keyed by the sensor component of the StreamID —
+// the same Fibonacci partition the filter, dispatcher and control plane
+// use, so a stream's whole path shards on one key (n <= 0 selects the
+// default; 1 restores a single shared table).
+func WithStoreShards(n int) Option {
+	return func(cfg *core.Config) { cfg.Store.Shards = n }
+}
+
 // WithActuationRetry tunes the Actuation Service's retry loop. It
 // composes with WithControlShards and WithActuationCoalescing in any
 // order.
@@ -348,32 +374,91 @@ func (g *Deployment) Claim(tok Token, stream StreamID) ([]Delivery, error) {
 	return backlog, nil
 }
 
+// requireStream checks PermSubscribe plus, for the protected location
+// stream, PermLocation.
+func (g *Deployment) requireStream(tok Token, stream StreamID) error {
+	if _, err := g.core.Registry().Require(tok, registry.PermSubscribe); err != nil {
+		return err
+	}
+	if stream.Index() == wire.LocationStreamIndex {
+		if _, err := g.core.Registry().Require(tok, registry.PermLocation); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SubscribeWithReplay subscribes c to a single stream and replays the
+// Stream Store's retained history from store sequence fromSeq onwards
+// (oldest first, fromSeq 0 meaning everything retained) before live
+// delivery begins. Catch-up is routed through the consumer's dispatch
+// port — live deliveries that race the subscription queue up behind the
+// replayed history and duplicates are screened out by store sequence —
+// so replayed and live messages can never invert or repeat, even under
+// an asynchronous dispatcher. It returns the subscription id and how
+// many messages were replayed.
+func (g *Deployment) SubscribeWithReplay(tok Token, stream StreamID, fromSeq uint64, c Consumer) (SubscriptionID, int, error) {
+	if err := g.requireStream(tok, stream); err != nil {
+		return 0, 0, err
+	}
+	return g.core.SubscribeWithReplay(c, stream, fromSeq)
+}
+
 // SubscribeWithBacklog subscribes c to a single stream and, when the
 // Orphanage holds a backlog for it, replays the buffered messages into c
 // (oldest first) before live delivery begins — the complete late-subscriber
 // handover in one call. It returns the subscription id and how many
 // backlog messages were replayed.
+//
+// It is a thin wrapper over SubscribeWithReplay: claiming the orphan
+// backlog is a store-cursor hand-off and the replay flows through the
+// consumer's dispatch port, so — unlike the historical implementation —
+// backlog and live delivery cannot interleave out of order under an
+// asynchronous dispatcher.
 func (g *Deployment) SubscribeWithBacklog(tok Token, stream StreamID, c Consumer) (SubscriptionID, int, error) {
-	if _, err := g.core.Registry().Require(tok, registry.PermSubscribe); err != nil {
+	if err := g.requireStream(tok, stream); err != nil {
 		return 0, 0, err
 	}
-	if stream.Index() == wire.LocationStreamIndex {
-		if _, err := g.core.Registry().Require(tok, registry.PermLocation); err != nil {
-			return 0, 0, err
-		}
+	// Peek first, claim only after the subscription succeeded: a failed
+	// subscribe (nil consumer, stopped dispatcher) must not destroy the
+	// orphan backlog.
+	from, _, _, held := g.core.Orphanage().PeekCursor(stream)
+	if !held {
+		// No orphan backlog: replay nothing, but still subscribe through
+		// the catch-up gate so nothing slips between the two.
+		last, _ := g.core.Store().LastSeq(stream)
+		from = last + 1
 	}
-	// Subscribe first so nothing slips between replay and live delivery;
-	// the duplicate filter upstream guarantees the backlog and live flow
-	// never overlap in sequence numbers.
-	id, err := g.core.Dispatcher().Subscribe(c, dispatch.Exact(stream))
-	if err != nil {
-		return 0, 0, err
+	id, n, err := g.core.SubscribeWithReplay(c, stream, from)
+	if err == nil && held {
+		g.core.Orphanage().ClaimCursor(stream)
 	}
-	backlog, _ := g.core.Orphanage().Claim(stream)
-	for _, d := range backlog {
-		c.Consume(d)
+	return id, n, err
+}
+
+// Replay returns copies of the Stream Store's retained deliveries for
+// stream with store sequences in [fromSeq, toSeq], oldest first
+// (PermSubscribe; the location stream additionally needs PermLocation).
+// Store sequences are the 64-bit extended addresses stamped on
+// Delivery.StoreSeq — fromSeq 0 and toSeq ^uint64(0) select everything
+// retained.
+func (g *Deployment) Replay(tok Token, stream StreamID, fromSeq, toSeq uint64) ([]Delivery, error) {
+	if err := g.requireStream(tok, stream); err != nil {
+		return nil, err
 	}
-	return id, len(backlog), nil
+	return g.core.Store().Range(stream, fromSeq, toSeq), nil
+}
+
+// LatestValue returns the newest retained delivery of a stream — the
+// last-value cache a dashboard primes from (PermSubscribe; the location
+// stream additionally needs PermLocation). ok is false when nothing is
+// retained.
+func (g *Deployment) LatestValue(tok Token, stream StreamID) (Delivery, bool, error) {
+	if err := g.requireStream(tok, stream); err != nil {
+		return Delivery{}, false, err
+	}
+	d, ok := g.core.Store().Latest(stream)
+	return d, ok, nil
 }
 
 // Actuate submits a stream-setting demand through admission control

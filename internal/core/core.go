@@ -40,6 +40,7 @@ import (
 	"github.com/garnet-middleware/garnet/internal/resource"
 	"github.com/garnet-middleware/garnet/internal/sensor"
 	"github.com/garnet-middleware/garnet/internal/sim"
+	"github.com/garnet-middleware/garnet/internal/store"
 	"github.com/garnet-middleware/garnet/internal/transmit"
 	"github.com/garnet-middleware/garnet/internal/wire"
 )
@@ -63,6 +64,13 @@ type Config struct {
 	// Resource configures the Resource Manager (control-plane sharding;
 	// the garnet.WithControlShards facade option threads Shards here).
 	Resource resource.Options
+	// Store configures the Stream Store, the retention layer every
+	// accepted delivery tees into before dispatch (the
+	// garnet.WithStoreRetention / WithStoreShards facade options thread
+	// fields here). Its per-stream count bound is raised to at least the
+	// Orphanage's per-stream capacity so orphan claims always find their
+	// full backlog window.
+	Store store.Options
 	// Policy is the initial mediation policy; it is folded into
 	// Resource.Policy when that field is zero.
 	Policy resource.Policy
@@ -81,6 +89,7 @@ type Deployment struct {
 
 	filter     *filtering.Filter
 	dispatcher *dispatch.Dispatcher
+	st         *store.Store
 	orphan     *orphanage.Orphanage
 	locSvc     *location.Service
 	registry   *registry.Registry
@@ -120,7 +129,19 @@ func New(cfg Config) *Deployment {
 		nextVirtual: consumer.VirtualSensorBase,
 	}
 	d.medium = radio.NewMedium(cfg.Clock, cfg.Radio)
-	d.orphan = orphanage.New(cfg.Orphanage)
+	storeOpts := cfg.Store
+	if storeOpts.MaxMessages <= 0 {
+		storeOpts.MaxMessages = store.DefaultMaxMessages
+	}
+	orphCap := cfg.Orphanage.PerStreamCapacity
+	if orphCap <= 0 {
+		orphCap = orphanage.DefaultPerStreamCapacity
+	}
+	if storeOpts.MaxMessages < orphCap {
+		storeOpts.MaxMessages = orphCap
+	}
+	d.st = store.New(storeOpts)
+	d.orphan = orphanage.NewWithStore(cfg.Orphanage, d.st)
 	d.dispatcher = dispatch.New(cfg.Dispatch)
 	d.dispatcher.SetOrphanSink(d.orphan.Consume)
 
@@ -152,7 +173,7 @@ func New(cfg Config) *Deployment {
 	if cfg.LocationPublishPeriod > 0 {
 		d.locTicker = sim.NewTicker(cfg.Clock, cfg.LocationPublishPeriod, func(now time.Time) {
 			for _, msg := range d.locSvc.ComposeUpdates() {
-				d.dispatcher.Dispatch(filtering.Delivery{
+				d.publish(filtering.Delivery{
 					Msg: msg, At: now, Receiver: "location-service", RSSI: 1,
 				})
 			}
@@ -161,13 +182,24 @@ func New(cfg Config) *Deployment {
 	return d
 }
 
+// publish tees one delivery into the Stream Store — stamping its 64-bit
+// retention address onto Delivery.StoreSeq — and hands it to the
+// Dispatching Service. Every delivery entering the dispatcher (filtered
+// receptions, derived streams, location updates) funnels through here,
+// so retained history and live delivery share one address space.
+func (d *Deployment) publish(del filtering.Delivery) {
+	del.StoreSeq = d.st.Append(del)
+	d.dispatcher.Dispatch(del)
+}
+
 // onFiltered is the filter's sink: it surfaces sensor acknowledgements to
-// the Actuation Service and forwards the delivery to the dispatcher.
+// the Actuation Service and forwards the delivery to the store tee and
+// the dispatcher.
 func (d *Deployment) onFiltered(del filtering.Delivery) {
 	if del.Msg.Flags.Has(wire.FlagUpdateAck) {
 		d.acts.HandleAck(del.Msg.AckID, del.At)
 	}
-	d.dispatcher.Dispatch(del)
+	d.publish(del)
 }
 
 // AddReceiver creates, registers and (if the deployment is running)
@@ -317,8 +349,20 @@ func (d *Deployment) ApplyDemands(owner string, demands []resource.Demand) {
 // PublishDerived implements consumer.Publisher: derived messages enter the
 // Dispatching Service directly (their publisher already guarantees unique
 // ascending sequence numbers, so the duplicate filter is unnecessary).
+// They tee through the Stream Store like physical streams, so derived
+// history replays the same way.
 func (d *Deployment) PublishDerived(msg wire.Message, at time.Time) {
-	d.dispatcher.Dispatch(filtering.Delivery{Msg: msg, At: at, Receiver: "derived", RSSI: 1})
+	d.publish(filtering.Delivery{Msg: msg, At: at, Receiver: "derived", RSSI: 1})
+}
+
+// SubscribeWithReplay subscribes c to a single stream, replaying the
+// retained history from store sequence fromSeq onwards through c's
+// dispatch port ahead of live delivery — the late-joiner catch-up path.
+// The facade performs permission checks and calls this.
+func (d *Deployment) SubscribeWithReplay(c dispatch.Consumer, stream wire.StreamID, fromSeq uint64) (dispatch.SubscriptionID, int, error) {
+	return d.dispatcher.SubscribeWithReplay(c, stream, func() []filtering.Delivery {
+		return d.st.Range(stream, fromSeq, ^uint64(0))
+	})
 }
 
 // AllocateVirtualSensor reserves the next virtual sensor id for a
@@ -352,6 +396,9 @@ func (d *Deployment) Filter() *filtering.Filter { return d.filter }
 
 // Dispatcher returns the Dispatching Service.
 func (d *Deployment) Dispatcher() *dispatch.Dispatcher { return d.dispatcher }
+
+// Store returns the Stream Store.
+func (d *Deployment) Store() *store.Store { return d.st }
 
 // Orphanage returns the Orphanage.
 func (d *Deployment) Orphanage() *orphanage.Orphanage { return d.orphan }
@@ -387,6 +434,7 @@ func (d *Deployment) Sensors() []*sensor.Node {
 type Snapshot struct {
 	Filter     filtering.Stats
 	Dispatch   dispatch.Stats
+	Store      store.Stats
 	Orphanage  orphanage.Stats
 	Resource   resource.Stats
 	Actuation  actuation.Stats
@@ -406,6 +454,7 @@ func (d *Deployment) Stats() Snapshot {
 	return Snapshot{
 		Filter:     d.filter.Stats(),
 		Dispatch:   d.dispatcher.Stats(),
+		Store:      d.st.Stats(),
 		Orphanage:  d.orphan.Stats(),
 		Resource:   d.rm.Stats(),
 		Actuation:  d.acts.Stats(),

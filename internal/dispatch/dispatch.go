@@ -315,6 +315,22 @@ func (d *Dispatcher) Start() {
 	}
 }
 
+// portForLocked returns c's delivery port, creating it — and, in a
+// started async dispatcher, launching its worker — on first use. Caller
+// holds mu and manages the reference count.
+func (d *Dispatcher) portForLocked(c Consumer) *port {
+	p, ok := d.ports[c]
+	if !ok {
+		p = newPort(c, d.opts.QueueCapacity, d.opts.BatchSize, d.opts.Overflow,
+			&d.dropped, d.droppedBy.With(c.Name()))
+		d.ports[c] = p
+		if d.opts.Mode == ModeAsync && d.started {
+			d.startPortLocked(p)
+		}
+	}
+	return p
+}
+
 func (d *Dispatcher) startPortLocked(p *port) {
 	if p.running {
 		return
@@ -383,15 +399,7 @@ func (d *Dispatcher) Subscribe(c Consumer, pattern Pattern) (SubscriptionID, err
 	if d.stopped.Load() {
 		return 0, ErrStopped
 	}
-	p, ok := d.ports[c]
-	if !ok {
-		p = newPort(c, d.opts.QueueCapacity, d.opts.BatchSize, d.opts.Overflow,
-			&d.dropped, d.droppedBy.With(c.Name()))
-		d.ports[c] = p
-		if d.opts.Mode == ModeAsync && d.started {
-			d.startPortLocked(p)
-		}
-	}
+	p := d.portForLocked(c)
 	p.refs++
 
 	d.nextSub++
@@ -514,6 +522,14 @@ func (d *Dispatcher) Dispatch(del filtering.Delivery) {
 	}
 	for _, p := range targets {
 		if d.opts.Mode == ModeSync {
+			// A port mid catch-up (SubscribeWithReplay) diverts live
+			// deliveries behind its gate — they are delivered, and
+			// counted, once the replay batch has gone ahead of them —
+			// and a port with replay floors drops late copies of
+			// history a replay batch already covered.
+			if (p.gated.Load() || p.hasFloors.Load()) && p.tryHold(del) {
+				continue
+			}
 			sh.delivered.Inc()
 			p.consumer.Consume(del)
 			continue
@@ -522,6 +538,43 @@ func (d *Dispatcher) Dispatch(del filtering.Delivery) {
 			sh.delivered.Inc()
 		}
 	}
+}
+
+// SubscribeWithReplay subscribes c to a single stream and replays a
+// backlog ahead of live delivery, through the same consumer port, so the
+// two can never invert or interleave: the subscription is registered with
+// the port's catch-up gate closed, fetch() is then called (typically a
+// Stream Store range read) to materialise the backlog, the backlog is
+// placed, and finally the live deliveries that arrived during catch-up
+// are flushed behind it — minus any that carry a store sequence already
+// covered by the replay batch, the seq-based dedupe at the claim
+// boundary. fetch runs without dispatcher locks held and must return
+// deliveries in ascending StoreSeq order. It returns the subscription id
+// and the number of backlog messages replayed.
+func (d *Dispatcher) SubscribeWithReplay(c Consumer, stream wire.StreamID, fetch func() []filtering.Delivery) (SubscriptionID, int, error) {
+	if c == nil {
+		return 0, 0, fmt.Errorf("%w: nil consumer", ErrBadPattern)
+	}
+	d.mu.Lock()
+	if d.stopped.Load() {
+		d.mu.Unlock()
+		return 0, 0, ErrStopped
+	}
+	p := d.portForLocked(c)
+	p.refs++
+	p.beginGate()
+	d.nextSub++
+	sub := &subscription{id: d.nextSub, pattern: Exact(stream), port: p}
+	d.subs[sub.id] = sub
+	sh := d.shardFor(stream.Sensor())
+	sh.mu.Lock()
+	sh.addExactLocked(sub)
+	sh.mu.Unlock()
+	d.mu.Unlock()
+
+	replay := fetch()
+	p.endGate(replay, stream, d.opts.Mode == ModeSync, sh)
+	return sub.id, len(replay), nil
 }
 
 // Discover lists every stream the dispatcher has seen, sorted by id — the

@@ -6,6 +6,7 @@ import (
 
 	"github.com/garnet-middleware/garnet/internal/filtering"
 	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/wire"
 )
 
 var portSeq atomic.Uint64
@@ -35,6 +36,24 @@ type port struct {
 	closed    bool
 	running   bool
 
+	// Catch-up gate (SubscribeWithReplay): while gateCount > 0, incoming
+	// deliveries divert to held instead of the queue (async) or the
+	// consumer (sync), so a replay batch can be placed ahead of every
+	// live delivery that raced the subscription. gated mirrors
+	// gateCount != 0 so the sync hot path checks it without taking mu.
+	gateCount int
+	gated     atomic.Bool
+	held      []filtering.Delivery
+
+	// Replay floors, one per stream this port ever caught up on: a
+	// delivery whose StoreSeq is at or below the floor was already
+	// covered by a replay batch and is dropped — including deliveries
+	// teed into the store before the replay fetch but dispatched only
+	// after the gate closed, the tail of the claim-boundary race.
+	// hasFloors mirrors len(floors) > 0 for the lock-free sync check.
+	floors    []streamFloor
+	hasFloors atomic.Bool
+
 	dropped  *metrics.Counter // shared dispatcher total
 	selfDrop *metrics.Counter // this consumer's overflow discards
 }
@@ -58,30 +77,291 @@ func newPort(c Consumer, capacity, batchSize int, overflow OverflowPolicy, dropp
 	return p
 }
 
+// seqRange is an inclusive store-sequence interval.
+type seqRange struct{ lo, hi uint64 }
+
+// streamFloor records what replay batches have covered on one stream:
+// every sequence at or below upto EXCEPT the holes — sequence gaps the
+// batches did not contain (radio losses at fetch time). A delivery below
+// the floor and not in a hole is a duplicate of replayed history; a
+// hole-filling delivery (late gap recovery) is new data and passes.
+type streamFloor struct {
+	stream wire.StreamID
+	upto   uint64
+	holes  []seqRange // ascending, non-overlapping
+}
+
+func holesContain(holes []seqRange, seq uint64) bool {
+	for _, h := range holes {
+		if seq < h.lo {
+			return false
+		}
+		if seq <= h.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// batchHoles returns the sequence gaps between consecutive entries of an
+// ascending replay batch that lie strictly above the "above" mark.
+func batchHoles(batch []filtering.Delivery, above uint64) []seqRange {
+	var out []seqRange
+	for i := 1; i < len(batch); i++ {
+		lo, hi := batch[i-1].StoreSeq+1, batch[i].StoreSeq-1
+		if lo <= above {
+			lo = above + 1
+		}
+		if lo <= hi {
+			out = append(out, seqRange{lo, hi})
+		}
+	}
+	return out
+}
+
+// subtractSeq removes one sequence from a hole set (a replay batch
+// re-delivered it, so it is covered now), splitting ranges as needed.
+func subtractSeq(holes []seqRange, seq uint64) []seqRange {
+	for i, h := range holes {
+		if seq < h.lo || seq > h.hi {
+			continue
+		}
+		out := append([]seqRange(nil), holes[:i]...)
+		if h.lo < seq {
+			out = append(out, seqRange{h.lo, seq - 1})
+		}
+		if seq < h.hi {
+			out = append(out, seqRange{seq + 1, h.hi})
+		}
+		return append(out, holes[i+1:]...)
+	}
+	return holes
+}
+
+// belowFloorLocked reports whether d was already covered by a replay
+// batch on its stream. Caller holds mu.
+func (p *port) belowFloorLocked(d filtering.Delivery) bool {
+	if d.StoreSeq == 0 {
+		return false
+	}
+	for i := range p.floors {
+		if p.floors[i].stream == d.Msg.Stream {
+			return d.StoreSeq <= p.floors[i].upto &&
+				!holesContain(p.floors[i].holes, d.StoreSeq)
+		}
+	}
+	return false
+}
+
+// raiseFloorLocked folds an ascending non-empty replay batch into the
+// stream's floor. A fresh floor covers everything up to the batch's last
+// sequence except the gaps inside the batch (never-replayed hole fills
+// must still be deliverable). Merging an existing floor removes old
+// holes the new batch re-delivered and marks as holes both the new
+// batch's gaps and any span between the old floor and the new batch that
+// neither covered. Caller holds mu.
+func (p *port) raiseFloorLocked(stream wire.StreamID, batch []filtering.Delivery) {
+	lo, hi := batch[0].StoreSeq, batch[len(batch)-1].StoreSeq
+	for i := range p.floors {
+		f := &p.floors[i]
+		if f.stream != stream {
+			continue
+		}
+		for _, d := range batch {
+			if d.StoreSeq <= f.upto {
+				f.holes = subtractSeq(f.holes, d.StoreSeq)
+			}
+		}
+		if hi <= f.upto {
+			return
+		}
+		if lo > f.upto+1 {
+			f.holes = append(f.holes, seqRange{f.upto + 1, lo - 1})
+		}
+		f.holes = append(f.holes, batchHoles(batch, f.upto)...)
+		f.upto = hi
+		return
+	}
+	p.floors = append(p.floors, streamFloor{
+		stream: stream, upto: hi, holes: batchHoles(batch, 0),
+	})
+	p.hasFloors.Store(true)
+}
+
 // enqueue adds a delivery, applying the overflow policy when full. It
-// reports whether the new delivery was admitted.
+// reports whether the new delivery was admitted; deliveries diverted to
+// the catch-up gate report false and are accounted when the gate flushes,
+// and deliveries below a replay floor are silently suppressed as
+// duplicates of already-replayed history.
 func (p *port) enqueue(d filtering.Delivery) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.gateCount > 0 {
+		p.held = append(p.held, d)
+		return false
+	}
+	if p.belowFloorLocked(d) {
+		return false
+	}
+	return p.enqueueLocked(d)
+}
+
+// enqueueLocked is enqueue past the gate and floor checks. Caller holds
+// mu. The queue's physical ring can be larger than the capacity bound
+// after a catch-up burst (see enqueueGrowLocked); the overflow policy
+// keys on the logical capacity.
+func (p *port) enqueueLocked(d filtering.Delivery) bool {
 	if p.closed {
 		p.dropped.Inc()
 		p.selfDrop.Inc()
 		return false
 	}
-	if p.count == p.capacity {
+	if p.count >= p.capacity {
 		p.dropped.Inc()
 		p.selfDrop.Inc()
 		if p.overflow == DropNewest {
 			return false
 		}
 		// DropOldest: advance head, overwrite.
-		p.head = (p.head + 1) % p.capacity
+		p.head = (p.head + 1) % len(p.queue)
 		p.count--
 	}
-	p.queue[(p.head+p.count)%p.capacity] = d
+	p.queue[(p.head+p.count)%len(p.queue)] = d
 	p.count++
 	p.cond.Signal()
 	return true
+}
+
+// enqueueGrowLocked admits d unconditionally, doubling the physical ring
+// when full instead of applying the overflow policy — used for the
+// catch-up replay batch and its held backlog, which must not evict each
+// other while being placed. The queue drains back under the capacity
+// bound as the worker catches up. Caller holds mu.
+func (p *port) enqueueGrowLocked(d filtering.Delivery) bool {
+	if p.closed {
+		p.dropped.Inc()
+		p.selfDrop.Inc()
+		return false
+	}
+	if p.count == len(p.queue) {
+		grown := make([]filtering.Delivery, 2*len(p.queue))
+		for i := 0; i < p.count; i++ {
+			grown[i] = p.queue[(p.head+i)%len(p.queue)]
+		}
+		p.queue = grown
+		p.head = 0
+	}
+	p.queue[(p.head+p.count)%len(p.queue)] = d
+	p.count++
+	p.cond.Signal()
+	return true
+}
+
+// tryHold diverts a sync-mode delivery into the catch-up gate, or drops
+// it when a replay floor already covers it. It reports false when
+// neither applies — the gate closed between the caller's lock-free check
+// and the lock acquisition — in which case the caller delivers normally.
+func (p *port) tryHold(d filtering.Delivery) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.gateCount > 0 {
+		p.held = append(p.held, d)
+		return true
+	}
+	return p.belowFloorLocked(d)
+}
+
+// beginGate opens the catch-up gate. Called under Dispatcher.mu before
+// the subscription becomes visible to Dispatch, so no live delivery for
+// it can reach the consumer ahead of the replay batch.
+func (p *port) beginGate() {
+	p.mu.Lock()
+	p.gateCount++
+	p.gated.Store(true)
+	p.mu.Unlock()
+}
+
+// endGate raises the stream's replay floor to the batch's high-water
+// mark, places the replay batch, flushes the held live deliveries that
+// are not duplicates of it, and closes the gate. The floor outlives the
+// gate, so a delivery teed into the store before the replay fetch but
+// dispatched only after the gate closed is still screened out — the
+// seq-based dedupe at the claim boundary. Replayed deliveries are not
+// counted as dispatcher deliveries (they never entered Dispatch);
+// flushed held ones are, on sh. In async mode everything goes through
+// the queue under one lock acquisition, growing the ring past the
+// capacity bound rather than letting the batch evict itself. In sync
+// mode the replay and held batches are delivered inline on the calling
+// goroutine, draining repeatedly until no new deliveries arrived while
+// the previous batch was being consumed.
+func (p *port) endGate(replay []filtering.Delivery, stream wire.StreamID, syncMode bool, sh *shard) {
+	if !syncMode {
+		p.mu.Lock()
+		if len(replay) > 0 {
+			p.raiseFloorLocked(stream, replay)
+		}
+		for _, d := range replay {
+			p.enqueueGrowLocked(d)
+		}
+		if p.gateCount > 1 {
+			// Another catch-up on this port is still mid-replay: its
+			// endGate flushes the held backlog once every floor is in
+			// place. Flushing now would deliver its stream's held live
+			// messages ahead of its replay batch.
+			p.gateCount--
+			p.mu.Unlock()
+			return
+		}
+		for _, d := range p.held {
+			if p.belowFloorLocked(d) {
+				continue
+			}
+			if p.enqueueGrowLocked(d) {
+				sh.delivered.Inc()
+			}
+		}
+		p.held = nil
+		p.gateCount = 0
+		p.gated.Store(false)
+		p.mu.Unlock()
+		return
+	}
+	if len(replay) > 0 {
+		p.mu.Lock()
+		p.raiseFloorLocked(stream, replay)
+		p.mu.Unlock()
+	}
+	for _, d := range replay {
+		p.consumer.Consume(d)
+	}
+	for {
+		p.mu.Lock()
+		if p.gateCount > 1 {
+			// See the async branch: the last gate standing drains held.
+			p.gateCount--
+			p.mu.Unlock()
+			return
+		}
+		held := p.held
+		p.held = nil
+		if len(held) == 0 {
+			p.gateCount = 0
+			p.gated.Store(false)
+			p.mu.Unlock()
+			return
+		}
+		var keep []filtering.Delivery
+		for _, d := range held {
+			if !p.belowFloorLocked(d) {
+				keep = append(keep, d)
+			}
+		}
+		p.mu.Unlock()
+		for _, d := range keep {
+			sh.delivered.Inc()
+			p.consumer.Consume(d)
+		}
+	}
 }
 
 // run drains the queue until the port is closed and empty, taking up to
@@ -106,7 +386,7 @@ func (p *port) run() {
 		for i := 0; i < n; i++ {
 			batch = append(batch, p.queue[p.head])
 			p.queue[p.head] = filtering.Delivery{} // release payload reference
-			p.head = (p.head + 1) % p.capacity
+			p.head = (p.head + 1) % len(p.queue)
 		}
 		p.count -= n
 		p.mu.Unlock()
@@ -121,10 +401,16 @@ func (p *port) run() {
 	}
 }
 
-// close marks the port finished; the worker exits after draining.
+// close marks the port finished; the worker exits after draining. Held
+// catch-up deliveries reach no consumer and count as drops.
 func (p *port) close() {
 	p.mu.Lock()
 	p.closed = true
+	for range p.held {
+		p.dropped.Inc()
+		p.selfDrop.Inc()
+	}
+	p.held = nil
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }

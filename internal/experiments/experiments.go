@@ -129,6 +129,7 @@ func All() []Experiment {
 		{"E14", "Sharded filter ingest under concurrent receivers", runE14},
 		{"E15", "Dense-field broadcast: cost vs attached receivers", runE15},
 		{"E16", "Demand storm: sharded control plane under churn", runE16},
+		{"E17", "Late-joiner storm: replay catch-up under live load", runE17},
 		{"X1", "Multi-hop relaying — §8 future-work extension", runX1},
 	}
 }

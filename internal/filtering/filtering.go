@@ -45,6 +45,14 @@ type Delivery struct {
 	At       time.Time // reception time of the accepted copy
 	Receiver string    // receiver that heard the accepted copy
 	RSSI     float64
+	// StoreSeq is the Stream Store's 64-bit extended sequence assigned
+	// when the delivery was retained (the 16-bit wire Seq wraps; the
+	// store unwraps it monotonically). 0 means the delivery bypassed the
+	// store. The filter never sets it; the core deployment tees accepted
+	// deliveries into the store before dispatch and stamps it there, so
+	// consumers, the Orphanage and the replay machinery all address
+	// retained history with the same monotone key.
+	StoreSeq uint64
 }
 
 // DefaultWindowSize is the default per-stream duplicate-detection window,

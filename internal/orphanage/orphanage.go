@@ -2,10 +2,18 @@
 // process which receives un-configured data. There, data messages are
 // analysed and potentially stored.”
 //
-// The Orphanage buffers a bounded backlog per unclaimed stream, keeps
-// arrival statistics (the analysis a policy layer can act on), and hands
-// the backlog over atomically when a late subscriber finally claims the
-// stream — so data produced before any consumer existed is not lost.
+// The Orphanage no longer buffers payloads itself: retained deliveries
+// live in the Stream Store (internal/store), and the Orphanage is a thin
+// policy view over it — per unclaimed stream it keeps arrival statistics
+// (the analysis a policy layer can act on) and a backlog window expressed
+// as a pair of store sequence cursors. Claiming a stream is a cursor
+// hand-off: the window is read out of the store (or, via ClaimCursor,
+// handed to the replay machinery without materialising anything) and the
+// view is dropped; there is no second buffer to copy or invalidate. The
+// silence min-heap drives stream-level eviction (MaxStreams pressure and
+// EvictBefore age sweeps), and an evicted stream's retained data is
+// forgotten in the store — the Orphanage is the garbage collector for
+// unclaimed-stream retention.
 package orphanage
 
 import (
@@ -16,6 +24,7 @@ import (
 
 	"github.com/garnet-middleware/garnet/internal/filtering"
 	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/store"
 	"github.com/garnet-middleware/garnet/internal/wire"
 )
 
@@ -28,8 +37,12 @@ const (
 // Options configures an Orphanage. The zero value uses the defaults above
 // with no age-based eviction.
 type Options struct {
-	// PerStreamCapacity bounds the buffered backlog per stream; the oldest
-	// messages are discarded first.
+	// PerStreamCapacity bounds the backlog window per stream; the oldest
+	// messages fall out of the window first. The backing store must
+	// retain at least this many messages per stream for claims to return
+	// the full window (the deployment floors the store's count bound to
+	// guarantee it; a store-level byte or age bound can still shrink a
+	// window, and Info/Stats report the shrunken truth).
 	PerStreamCapacity int
 	// MaxStreams bounds the number of simultaneously held streams; the
 	// stream silent the longest is evicted first.
@@ -40,8 +53,8 @@ type Options struct {
 type Info struct {
 	Stream    wire.StreamID
 	Seen      int64 // total messages observed
-	Buffered  int   // messages currently held
-	Bytes     int64 // payload bytes currently held
+	Buffered  int   // messages currently in the backlog window
+	Bytes     int64 // payload bytes currently in the window
 	FirstSeen time.Time
 	LastSeen  time.Time
 	// Rate is the observed mean message rate in messages/second, or 0
@@ -54,15 +67,20 @@ type Stats struct {
 	StreamsHeld     int
 	MessagesHeld    int
 	TotalSeen       int64
-	MessagesDropped int64 // discarded by per-stream capacity
-	StreamsEvicted  int64 // discarded by MaxStreams pressure
+	MessagesDropped int64 // fell out of a per-stream backlog window
+	StreamsEvicted  int64 // discarded by MaxStreams pressure or EvictBefore
 	Claims          int64
 }
 
 type orphanStream struct {
-	id        wire.StreamID
-	buf       []filtering.Delivery // FIFO backlog
-	bytes     int64
+	id       wire.StreamID
+	firstExt uint64 // store seq of the oldest message in the window
+	lastExt  uint64 // store seq of the newest message in the window
+	// buffered is the policy count driving window advancement; what the
+	// window actually holds is read back from the store (Info, Stats),
+	// so store-side byte/age eviction inside the window can never make
+	// the view overstate a claim.
+	buffered  int
 	seen      int64
 	firstSeen time.Time
 	lastSeen  time.Time
@@ -99,6 +117,13 @@ func (h *silenceHeap) Pop() any {
 // Orphanage is the default consumer for unclaimed data.
 type Orphanage struct {
 	opts Options
+	st   *store.Store
+	// owns marks a private store created by New for standalone use: the
+	// Orphanage then also drives the store's per-message eviction
+	// (EvictTo as the window advances, eviction after a materialised
+	// claim). A shared deployment store keeps data beyond the orphan
+	// window so late subscribers can replay more than the backlog.
+	owns bool
 
 	mu      sync.Mutex
 	streams map[wire.StreamID]*orphanStream
@@ -110,16 +135,44 @@ type Orphanage struct {
 	claims    metrics.Counter
 }
 
-// New creates an Orphanage.
+// New creates a standalone Orphanage backed by a private Stream Store
+// sized to the per-stream capacity. Deployments share the middleware-wide
+// store instead via NewWithStore.
 func New(opts Options) *Orphanage {
+	opts = withDefaults(opts)
+	st := store.New(store.Options{
+		Shards: 1,
+		// Twice the window: claims hand off cursors before eviction
+		// catches up, so the store's own count bound must never fire
+		// inside a live window.
+		MaxMessages: 2 * opts.PerStreamCapacity,
+	})
+	o := newWith(opts, st)
+	o.owns = true
+	return o
+}
+
+// NewWithStore creates an Orphanage as a policy view over st. Deliveries
+// handed to Consume must already carry their store sequence
+// (Delivery.StoreSeq), as the core deployment's store tee guarantees.
+func NewWithStore(opts Options, st *store.Store) *Orphanage {
+	return newWith(withDefaults(opts), st)
+}
+
+func withDefaults(opts Options) Options {
 	if opts.PerStreamCapacity <= 0 {
 		opts.PerStreamCapacity = DefaultPerStreamCapacity
 	}
 	if opts.MaxStreams <= 0 {
 		opts.MaxStreams = DefaultMaxStreams
 	}
+	return opts
+}
+
+func newWith(opts Options, st *store.Store) *Orphanage {
 	return &Orphanage{
 		opts:    opts,
+		st:      st,
 		streams: make(map[wire.StreamID]*orphanStream),
 	}
 }
@@ -127,9 +180,15 @@ func New(opts Options) *Orphanage {
 // Name implements dispatch.Consumer.
 func (o *Orphanage) Name() string { return "orphanage" }
 
-// Consume stores one unclaimed delivery. It is the Dispatcher's orphan
-// sink and also satisfies dispatch.Consumer.
+// Consume notes one unclaimed delivery and advances the stream's backlog
+// window. It is the Dispatcher's orphan sink and also satisfies
+// dispatch.Consumer. Deliveries without a store sequence (standalone use,
+// outside a deployment's store tee) are appended to the Orphanage's own
+// store first.
 func (o *Orphanage) Consume(d filtering.Delivery) {
+	if d.StoreSeq == 0 {
+		d.StoreSeq = o.st.Append(d)
+	}
 	o.totalSeen.Inc()
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -138,24 +197,39 @@ func (o *Orphanage) Consume(d filtering.Delivery) {
 		if len(o.streams) >= o.opts.MaxStreams {
 			o.evictStalestLocked()
 		}
-		st = &orphanStream{id: d.Msg.Stream, firstSeen: d.At, lastSeen: d.At}
+		st = &orphanStream{
+			id:       d.Msg.Stream,
+			firstExt: d.StoreSeq, lastExt: d.StoreSeq,
+			firstSeen: d.At, lastSeen: d.At,
+		}
 		o.streams[d.Msg.Stream] = st
 		heap.Push(&o.silence, st)
 	}
 	st.seen++
 	st.lastSeen = d.At
 	heap.Fix(&o.silence, st.heapIdx)
-	if len(st.buf) >= o.opts.PerStreamCapacity {
-		o.dropped.Inc()
-		st.bytes -= int64(len(st.buf[0].Msg.Payload))
-		st.buf = st.buf[1:]
+	if d.StoreSeq < st.firstExt {
+		st.firstExt = d.StoreSeq // late out-of-order fill extends the window down
 	}
-	st.buf = append(st.buf, d)
-	st.bytes += int64(len(d.Msg.Payload))
+	if d.StoreSeq > st.lastExt {
+		st.lastExt = d.StoreSeq
+	}
+	st.buffered++
+	if st.buffered > o.opts.PerStreamCapacity {
+		// Advance the window past the oldest retained message.
+		o.dropped.Inc()
+		if seq, _, ok := o.st.OldestSince(st.id, st.firstExt); ok {
+			st.firstExt = seq + 1
+		}
+		st.buffered--
+		if o.owns {
+			o.st.EvictTo(st.id, st.firstExt)
+		}
+	}
 }
 
-// evictStalestLocked drops the stream silent the longest: the root of
-// the silence heap, in O(log n).
+// evictStalestLocked drops the stream silent the longest — the root of
+// the silence heap, in O(log n) — and forgets its retained data.
 func (o *Orphanage) evictStalestLocked() {
 	if len(o.silence) == 0 {
 		return
@@ -163,54 +237,104 @@ func (o *Orphanage) evictStalestLocked() {
 	st := heap.Pop(&o.silence).(*orphanStream)
 	delete(o.streams, st.id)
 	o.evicted.Inc()
+	o.st.Forget(st.id)
 }
 
-// Claim atomically removes and returns the buffered backlog for a stream,
-// oldest first. A late subscriber calls this (via the middleware facade)
-// to recover data produced before it subscribed. ok is false when the
-// stream is not held.
+// Claim atomically removes the stream's view and returns the backlog
+// window materialised from the store, oldest first. A late subscriber
+// calls this (via the middleware facade) to recover data produced before
+// it subscribed. ok is false when the stream is not held.
 func (o *Orphanage) Claim(id wire.StreamID) (backlog []filtering.Delivery, ok bool) {
+	from, to, _, ok := o.claimCursor(id)
+	if !ok {
+		return nil, false
+	}
+	backlog = o.st.Range(id, from, to)
+	if o.owns {
+		o.st.EvictTo(id, to+1)
+	}
+	return backlog, true
+}
+
+// ClaimCursor removes the stream's view and hands back its backlog window
+// as store-sequence cursors — the zero-copy claim the replay machinery
+// uses: nothing is materialised, the caller replays [from, to] straight
+// out of the store. n is the window's message count; ok is false when the
+// stream is not held.
+func (o *Orphanage) ClaimCursor(id wire.StreamID) (from, to uint64, n int, ok bool) {
+	return o.claimCursor(id)
+}
+
+// PeekCursor is ClaimCursor without the hand-off: the view stays held.
+// Callers that must not lose the backlog on a downstream failure peek
+// first and claim only once the hand-off has succeeded.
+func (o *Orphanage) PeekCursor(id wire.StreamID) (from, to uint64, n int, ok bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	st, ok := o.streams[id]
 	if !ok {
-		return nil, false
+		return 0, 0, 0, false
+	}
+	return st.firstExt, st.lastExt, st.buffered, true
+}
+
+func (o *Orphanage) claimCursor(id wire.StreamID) (from, to uint64, n int, ok bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st, ok := o.streams[id]
+	if !ok {
+		return 0, 0, 0, false
 	}
 	delete(o.streams, id)
 	heap.Remove(&o.silence, st.heapIdx)
 	o.claims.Inc()
-	return st.buf, true
+	return st.firstExt, st.lastExt, st.buffered, true
 }
 
-// Streams lists every held stream with its analysis, sorted by id.
+// Streams lists every held stream with its analysis, sorted by id. The
+// store is queried for each stream's window after the view lock is
+// released, so a big analysis dump never stalls the orphan data path.
 func (o *Orphanage) Streams() []Info {
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	out := make([]Info, 0, len(o.streams))
+	windows := make([]seqWindow, 0, len(o.streams))
 	for id, st := range o.streams {
 		out = append(out, o.infoLocked(id, st))
+		windows = append(windows, seqWindow{st.firstExt, st.lastExt})
+	}
+	o.mu.Unlock()
+	for i := range out {
+		out[i].Buffered, out[i].Bytes = o.st.WindowStats(out[i].Stream, windows[i].from, windows[i].to)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Stream < out[j].Stream })
 	return out
 }
 
+type seqWindow struct{ from, to uint64 }
+
 // StreamInfo returns the analysis for one stream.
 func (o *Orphanage) StreamInfo(id wire.StreamID) (Info, bool) {
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	st, ok := o.streams[id]
 	if !ok {
+		o.mu.Unlock()
 		return Info{}, false
 	}
-	return o.infoLocked(id, st), true
+	info := o.infoLocked(id, st)
+	win := seqWindow{st.firstExt, st.lastExt}
+	o.mu.Unlock()
+	info.Buffered, info.Bytes = o.st.WindowStats(id, win.from, win.to)
+	return info, true
 }
 
+// infoLocked fills everything except Buffered/Bytes, which the callers
+// read back from the store outside the view lock — they are then exactly
+// what a Claim would materialise, even when a store-level byte or age
+// bound has evicted inside the window.
 func (o *Orphanage) infoLocked(id wire.StreamID, st *orphanStream) Info {
 	info := Info{
 		Stream:    id,
 		Seen:      st.seen,
-		Buffered:  len(st.buf),
-		Bytes:     st.bytes,
 		FirstSeen: st.firstSeen,
 		LastSeen:  st.lastSeen,
 	}
@@ -224,8 +348,10 @@ func (o *Orphanage) infoLocked(id wire.StreamID, st *orphanStream) Info {
 
 // EvictBefore discards every stream whose last message predates cutoff,
 // returning the number evicted. A deployment policy typically calls this
-// periodically. The silence heap yields victims oldest first, so the
-// call costs O(evicted · log n) rather than a scan of every held stream.
+// periodically: the silence heap yields victims oldest first, so the call
+// costs O(evicted · log n) rather than a scan of every held stream, and
+// each victim's retained data is forgotten in the store — the heap-driven
+// sweep is what ages unclaimed data out of the retention layer.
 func (o *Orphanage) EvictBefore(cutoff time.Time) int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -237,12 +363,15 @@ func (o *Orphanage) EvictBefore(cutoff time.Time) int {
 	return n
 }
 
-// Stats returns an aggregate snapshot.
+// Stats returns an aggregate snapshot. MessagesHeld sums the policy
+// window counts in O(held streams) — under a store-level byte or age
+// bound it can overstate what claims will materialise; the per-stream
+// Info views report the store-read truth.
 func (o *Orphanage) Stats() Stats {
 	o.mu.Lock()
 	held := 0
 	for _, st := range o.streams {
-		held += len(st.buf)
+		held += st.buffered
 	}
 	streams := len(o.streams)
 	o.mu.Unlock()

@@ -1,0 +1,298 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/filtering"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// refStore is a deliberately naive reference implementation of the Stream
+// Store semantics: per-stream append-slices kept sorted by extended
+// sequence, with the same unwrap rule, window bookkeeping, ring-span
+// growth and count/byte/age eviction order — but none of the ring
+// indexing, slot reuse or sharding. The differential test below drives
+// both implementations with identical randomized workloads (including
+// 16-bit wire-sequence wraps and late out-of-order fills) and demands
+// identical results at shard counts 1, 4 and 16.
+type refStore struct {
+	maxMsgs  int
+	ringMax  int
+	maxBytes int64
+	maxAge   time.Duration
+	streams  map[wire.StreamID]*refStream
+}
+
+type refEntry struct {
+	ext uint64
+	d   filtering.Delivery
+}
+
+type refStream struct {
+	entries  []refEntry // present entries, ascending ext
+	span     int        // current ring span (grows 8 → ringMax)
+	minExt   uint64
+	maxExt   uint64
+	lastExt  uint64
+	lastWire wire.Seq
+}
+
+func newRefStore(opts Options) *refStore {
+	if opts.MaxMessages <= 0 {
+		opts.MaxMessages = DefaultMaxMessages
+	}
+	return &refStore{
+		maxMsgs:  opts.MaxMessages,
+		ringMax:  ceilPow2(opts.MaxMessages),
+		maxBytes: opts.MaxBytes,
+		maxAge:   opts.MaxAge,
+		streams:  make(map[wire.StreamID]*refStream),
+	}
+}
+
+func (r *refStream) evictOldest() {
+	e := r.entries[0]
+	r.entries = r.entries[1:]
+	r.minExt = e.ext + 1
+	if len(r.entries) == 0 {
+		r.minExt, r.maxExt = 0, 0
+	}
+}
+
+func (rs *refStore) append(d filtering.Delivery) uint64 {
+	r, ok := rs.streams[d.Msg.Stream]
+	if !ok {
+		r = &refStream{span: minRingSize}
+		rs.streams[d.Msg.Stream] = r
+	}
+	var ext uint64
+	if r.lastExt == 0 {
+		ext = extBase + uint64(d.Msg.Seq)
+	} else {
+		ext = uint64(int64(r.lastExt) + int64(r.lastWire.Distance(d.Msg.Seq)))
+	}
+	if ext > r.lastExt {
+		r.lastExt, r.lastWire = ext, d.Msg.Seq
+	}
+	if len(r.entries) > 0 && ext < r.minExt {
+		return ext // dropped behind the window
+	}
+	if len(r.entries) == 0 {
+		r.minExt, r.maxExt = ext, ext
+	} else if ext > r.maxExt {
+		for ext-r.minExt >= uint64(r.span) && r.span < rs.ringMax {
+			r.span *= 2
+		}
+		if ext-r.minExt >= uint64(r.span) {
+			target := ext - uint64(r.span) + 1
+			for len(r.entries) > 0 && r.entries[0].ext < target {
+				r.evictOldest()
+			}
+			if len(r.entries) > 0 && r.minExt < target {
+				r.minExt = target
+			}
+		}
+		if len(r.entries) == 0 {
+			r.minExt = ext
+		}
+		r.maxExt = ext
+	}
+	d.StoreSeq = ext
+	d.Msg.Payload = append([]byte(nil), d.Msg.Payload...)
+	at := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].ext >= ext })
+	if at < len(r.entries) && r.entries[at].ext == ext {
+		r.entries[at] = refEntry{ext: ext, d: d}
+	} else {
+		r.entries = append(r.entries, refEntry{})
+		copy(r.entries[at+1:], r.entries[at:])
+		r.entries[at] = refEntry{ext: ext, d: d}
+	}
+	for len(r.entries) > rs.maxMsgs {
+		r.evictOldest()
+	}
+	if rs.maxBytes > 0 {
+		for r.bytes() > rs.maxBytes && len(r.entries) > 1 {
+			r.evictOldest()
+		}
+	}
+	if rs.maxAge > 0 {
+		cutoff := d.At.Add(-rs.maxAge)
+		for len(r.entries) > 1 && r.entries[0].d.At.Before(cutoff) {
+			r.evictOldest()
+		}
+	}
+	return ext
+}
+
+func (r *refStream) bytes() int64 {
+	var n int64
+	for _, e := range r.entries {
+		n += int64(len(e.d.Msg.Payload))
+	}
+	return n
+}
+
+func (rs *refStore) rng(id wire.StreamID, from, to uint64) []filtering.Delivery {
+	r, ok := rs.streams[id]
+	if !ok {
+		return nil
+	}
+	var out []filtering.Delivery
+	for _, e := range r.entries {
+		if e.ext >= from && e.ext <= to {
+			out = append(out, e.d)
+		}
+	}
+	return out
+}
+
+func (rs *refStore) latest(id wire.StreamID) (filtering.Delivery, bool) {
+	r, ok := rs.streams[id]
+	if !ok || len(r.entries) == 0 {
+		return filtering.Delivery{}, false
+	}
+	return r.entries[len(r.entries)-1].d, true
+}
+
+func (rs *refStore) since(id wire.StreamID, t time.Time) []filtering.Delivery {
+	r, ok := rs.streams[id]
+	if !ok {
+		return nil
+	}
+	var out []filtering.Delivery
+	for _, e := range r.entries {
+		if !e.d.At.Before(t) {
+			out = append(out, e.d)
+		}
+	}
+	return out
+}
+
+func sameDeliveries(a, b []filtering.Delivery) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.StoreSeq != y.StoreSeq || x.Msg.Stream != y.Msg.Stream ||
+			x.Msg.Seq != y.Msg.Seq || !x.At.Equal(y.At) ||
+			!bytes.Equal(x.Msg.Payload, y.Msg.Payload) {
+			return fmt.Errorf("entry %d: %+v vs %+v", i, x, y)
+		}
+	}
+	return nil
+}
+
+// TestStoreMatchesReferenceProperty drives the sharded ring store and the
+// naive reference with identical randomized workloads — monotone runs,
+// forward jumps that cross the 16-bit wire-seq wrap, late out-of-order
+// fills, mixed payload sizes and advancing timestamps — under count, byte
+// and age bounds, and checks Range/Latest/Since and the retained totals
+// agree exactly at shard counts 1, 4 and 16.
+func TestStoreMatchesReferenceProperty(t *testing.T) {
+	shardCounts := []int{1, 4, 16}
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		opts := Options{
+			MaxMessages: []int{4, 16, 50}[trial%3],
+			MaxBytes:    []int64{0, 300}[trial%2],
+			MaxAge:      []time.Duration{0, 40 * time.Second}[(trial/2)%2],
+		}
+		stores := make([]*Store, len(shardCounts))
+		for i, n := range shardCounts {
+			o := opts
+			o.Shards = n
+			stores[i] = New(o)
+		}
+		ref := newRefStore(opts)
+
+		streams := make([]wire.StreamID, 6)
+		wireSeq := make([]int, len(streams))
+		for i := range streams {
+			streams[i] = wire.MustStreamID(wire.SensorID(rng.Intn(1000)+1), wire.StreamIndex(i))
+			wireSeq[i] = rng.Intn(wire.SeqCount) // random start, some near the wrap
+		}
+		now := epoch
+
+		for step := 0; step < 800; step++ {
+			si := rng.Intn(len(streams))
+			id := streams[si]
+			now = now.Add(time.Duration(rng.Intn(3000)) * time.Millisecond)
+
+			seq := wireSeq[si]
+			switch k := rng.Intn(10); {
+			case k < 7: // in-order next
+				wireSeq[si]++
+			case k < 9: // forward jump (may cross the wrap many times over a trial)
+				wireSeq[si] += rng.Intn(100) + 2
+			default: // late out-of-order fill behind the head
+				seq -= rng.Intn(40) + 1
+			}
+			payload := make([]byte, rng.Intn(40))
+			for i := range payload {
+				payload[i] = byte(rng.Intn(256))
+			}
+			d := del(id, wire.Seq(seq), now, payload)
+
+			wantExt := ref.append(d)
+			for i, s := range stores {
+				if ext := s.Append(d); ext != wantExt {
+					t.Fatalf("trial %d step %d shards=%d: ext %d, ref %d", trial, step, shardCounts[i], ext, wantExt)
+				}
+			}
+
+			if step%20 != 0 {
+				continue
+			}
+			// Checkpoint: full-window and sub-range queries must agree.
+			qid := streams[rng.Intn(len(streams))]
+			lo := extBase + uint64(rng.Intn(900))
+			hi := lo + uint64(rng.Intn(200))
+			qt := epoch.Add(time.Duration(rng.Intn(2000)) * time.Second)
+			wantAll := ref.rng(qid, 0, ^uint64(0))
+			wantSub := ref.rng(qid, lo, hi)
+			wantSince := ref.since(qid, qt)
+			wantLatest, wantOK := ref.latest(qid)
+			for i, s := range stores {
+				tag := fmt.Sprintf("trial %d step %d shards=%d stream %v", trial, step, shardCounts[i], qid)
+				if err := sameDeliveries(s.Range(qid, 0, ^uint64(0)), wantAll); err != nil {
+					t.Fatalf("%s: Range(all): %v", tag, err)
+				}
+				if err := sameDeliveries(s.Range(qid, lo, hi), wantSub); err != nil {
+					t.Fatalf("%s: Range(%d,%d): %v", tag, lo, hi, err)
+				}
+				if err := sameDeliveries(s.Since(qid, qt), wantSince); err != nil {
+					t.Fatalf("%s: Since: %v", tag, err)
+				}
+				gotLatest, gotOK := s.Latest(qid)
+				if gotOK != wantOK {
+					t.Fatalf("%s: Latest ok %v, ref %v", tag, gotOK, wantOK)
+				}
+				if wantOK {
+					if err := sameDeliveries([]filtering.Delivery{gotLatest}, []filtering.Delivery{wantLatest}); err != nil {
+						t.Fatalf("%s: Latest: %v", tag, err)
+					}
+				}
+			}
+		}
+
+		// Final state: retained totals agree across every shard count.
+		var wantMsgs, wantBytes int64
+		for _, r := range ref.streams {
+			wantMsgs += int64(len(r.entries))
+			wantBytes += r.bytes()
+		}
+		for i, s := range stores {
+			st := s.Stats()
+			if st.RetainedMessages != wantMsgs || st.RetainedBytes != wantBytes {
+				t.Fatalf("trial %d shards=%d: retained %d msgs/%d B, ref %d/%d",
+					trial, shardCounts[i], st.RetainedMessages, st.RetainedBytes, wantMsgs, wantBytes)
+			}
+		}
+	}
+}

@@ -1,0 +1,627 @@
+// Package store implements the Stream Store: sharded, sequence-addressable
+// retention for reconstructed stream deliveries.
+//
+// Garnet distributes live streams; the only history the paper's middleware
+// keeps is the Orphanage's backlog for *unclaimed* streams (§4.2). The
+// Stream Store generalises that into a first-class retention layer under
+// every stream — GSN-style middleware treats retained history as a service
+// queried by late and remote clients — so late joiners catch up on claimed
+// streams, consumers run range queries over recent history, and future
+// gateway/federation layers have a local buffer to replicate from.
+//
+// # Addressing
+//
+// The wire format's 16-bit sequence wraps every 65536 messages; retained
+// history needs stable addresses. The store assigns every appended delivery
+// a 64-bit extended sequence: the wire sequence unwrapped monotonically
+// with RFC 1982 serial distances from the highest sequence seen. Extended
+// sequences start at 65536 (so 0 always means "not retained") and are
+// stamped onto Delivery.StoreSeq, making the retention address visible to
+// every downstream consumer.
+//
+// # Sharding and retention
+//
+// State partitions into N shards keyed by wire.SensorID.Shard — the same
+// Fibonacci partition the Filtering, Dispatching and control-plane
+// services use — so a stream's ingest, retention and dispatch state all
+// live behind locks that only that sensor's traffic contends on. Each
+// stream owns a power-of-two ring of retained deliveries indexed by
+// extended sequence (slot = seq mod ring size), grown on demand up to the
+// count bound. Retention is bounded per stream by count, payload bytes and
+// age; every bound evicts from the oldest end at append time, advancing a
+// window low-water mark one slot at a time, so eviction is O(1) amortised
+// and the append path allocates nothing at steady state: payload bytes are
+// copied into slot-owned buffers that are recycled in place when a slot is
+// reused, which also keeps borrowed radio frames zero-copy upstream — the
+// store never retains a reference to caller memory.
+package store
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/filtering"
+	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// Defaults for Options.
+const (
+	// DefaultShards matches the filter and dispatcher defaults so a
+	// stream's whole path shards on one key.
+	DefaultShards = 16
+	// DefaultMaxMessages bounds the per-stream retained backlog. It is
+	// deliberately larger than the Orphanage's default per-stream
+	// capacity (128) so the orphan backlog view never outruns the store
+	// that backs it.
+	DefaultMaxMessages = 256
+
+	// extBase is the first extended sequence a stream can be assigned.
+	// Starting one full wire-sequence space up keeps 0 free to mean
+	// "never retained" and makes backwards serial distances (late
+	// out-of-order fills) mathematically incapable of underflowing.
+	extBase = uint64(wire.SeqCount)
+
+	// minRingSize is the initial ring allocation; rings double as the
+	// retained window grows, so streams that only ever see a handful of
+	// messages stay cheap.
+	minRingSize = 8
+)
+
+// Options configures a Store. The zero value selects the defaults above
+// with no byte or age bound.
+type Options struct {
+	// Shards partitions the per-stream retention state; <= 0 selects
+	// DefaultShards, 1 a single shared table.
+	Shards int
+	// MaxMessages bounds retained deliveries per stream; <= 0 selects
+	// DefaultMaxMessages. The ring is sized to the next power of two.
+	MaxMessages int
+	// MaxBytes bounds retained payload bytes per stream; <= 0 means
+	// unbounded. The newest delivery is always retained, even when it
+	// alone exceeds the bound.
+	MaxBytes int64
+	// MaxAge evicts deliveries older than this relative to the delivery
+	// being appended (append-side eviction needs no timer and stays
+	// deterministic on virtual clocks); <= 0 means unbounded.
+	MaxAge time.Duration
+}
+
+// Stats is an aggregate snapshot summed across shards.
+type Stats struct {
+	Appended      int64 // deliveries handed to Append
+	DroppedBehind int64 // arrived below the retained window; address assigned, not stored
+	EvictedCount  int64 // evicted by the count/ring bound
+	EvictedBytes  int64 // evicted by the byte bound
+	EvictedAge    int64 // evicted by the age bound
+	Forgotten     int64 // dropped by policy (Forget / EvictTo)
+
+	// RetainedMessages/RetainedBytes are gauge values: what the store
+	// holds right now, summed across the per-shard gauges.
+	RetainedMessages int64
+	RetainedBytes    int64
+
+	Streams int // streams currently holding at least one delivery
+	Shards  int
+}
+
+// StreamStats describes one stream's retained window.
+type StreamStats struct {
+	Stream   wire.StreamID
+	FirstSeq uint64 // lowest retained extended sequence (0 when empty)
+	LastSeq  uint64 // highest retained extended sequence (0 when empty)
+	NextWire wire.Seq
+	Count    int
+	Bytes    int64
+}
+
+// Store is the Stream Store.
+type Store struct {
+	opts     Options
+	ringMax  int
+	shards   []*shard
+	shardCnt int
+}
+
+type shard struct {
+	mu      sync.Mutex
+	streams map[wire.StreamID]*ring
+
+	// Single-entry lookup cache, same trick as the filter: sensors emit
+	// runs on one stream, so the common append skips the map hash.
+	lastID wire.StreamID
+	last   *ring
+
+	// Hot-path counters are plain ints under mu; retained totals are
+	// gauges so dashboards can read them without taking shard locks.
+	appended      int64
+	droppedBehind int64
+	evictedCount  int64
+	evictedBytes  int64
+	evictedAge    int64
+	forgotten     int64
+
+	retainedMessages metrics.Gauge
+	retainedBytes    metrics.Gauge
+}
+
+// ring is one stream's retention state: a power-of-two circular buffer of
+// deliveries indexed by extended sequence, plus the unwrap state that
+// survives even when every entry has been evicted.
+type ring struct {
+	slots []filtering.Delivery
+	mask  uint64
+
+	// Retained window [minExt, maxExt], both present when count > 0.
+	// Entries inside the window may be holes (sequence gaps the radio
+	// lost); a slot is occupied iff its StoreSeq matches the probed
+	// extended sequence and lies inside the window.
+	minExt, maxExt uint64
+	count          int
+	bytes          int64
+
+	// Unwrap state: lastExt is the highest extended sequence ever
+	// assigned and lastWire its wire sequence. Kept across Forget so a
+	// stream's addresses never move backwards.
+	lastExt  uint64
+	lastWire wire.Seq
+}
+
+// New creates a Store.
+func New(opts Options) *Store {
+	if opts.Shards <= 0 {
+		opts.Shards = DefaultShards
+	}
+	if opts.MaxMessages <= 0 {
+		opts.MaxMessages = DefaultMaxMessages
+	}
+	s := &Store{
+		opts:     opts,
+		ringMax:  ceilPow2(opts.MaxMessages),
+		shardCnt: opts.Shards,
+	}
+	s.shards = make([]*shard, opts.Shards)
+	for i := range s.shards {
+		s.shards[i] = &shard{streams: make(map[wire.StreamID]*ring)}
+	}
+	return s
+}
+
+// ceilPow2 rounds n up to a power of two ≥ minRingSize.
+func ceilPow2(n int) int {
+	p := minRingSize
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (s *Store) shardFor(id wire.StreamID) *shard {
+	return s.shards[id.Sensor().Shard(s.shardCnt)]
+}
+
+func (sh *shard) lookupSlowLocked(id wire.StreamID) *ring {
+	r, ok := sh.streams[id]
+	if !ok {
+		r = &ring{
+			slots: make([]filtering.Delivery, minRingSize),
+			mask:  minRingSize - 1,
+		}
+		sh.streams[id] = r
+	}
+	sh.lastID, sh.last = id, r
+	return r
+}
+
+// presentLocked reports whether ext is occupied in r.
+func (r *ring) presentLocked(ext uint64) bool {
+	return r.count > 0 && ext >= r.minExt && ext <= r.maxExt &&
+		r.slots[ext&r.mask].StoreSeq == ext
+}
+
+// Append retains one delivery and returns its extended sequence. The
+// payload is copied into store-owned memory; d and its payload may be
+// reused by the caller immediately. Deliveries whose extended sequence
+// falls below the stream's retained window (late out-of-order fills racing
+// eviction) are assigned their address but not stored.
+func (s *Store) Append(d filtering.Delivery) uint64 {
+	sh := s.shardFor(d.Msg.Stream)
+	sh.mu.Lock()
+	sh.appended++
+	r := sh.last
+	if r == nil || sh.lastID != d.Msg.Stream {
+		r = sh.lookupSlowLocked(d.Msg.Stream)
+	}
+
+	// Unwrap the 16-bit wire sequence into the 64-bit address space.
+	var ext uint64
+	if r.lastExt == 0 {
+		ext = extBase + uint64(d.Msg.Seq)
+	} else {
+		ext = uint64(int64(r.lastExt) + int64(r.lastWire.Distance(d.Msg.Seq)))
+	}
+	if ext > r.lastExt {
+		r.lastExt, r.lastWire = ext, d.Msg.Seq
+	}
+
+	if r.count > 0 && ext < r.minExt {
+		sh.droppedBehind++
+		sh.mu.Unlock()
+		return ext
+	}
+
+	if r.count == 0 {
+		r.minExt, r.maxExt = ext, ext
+	} else if ext > r.maxExt {
+		// Advancing the window high end may push old entries out of the
+		// ring span; grow the ring first while the count bound allows,
+		// then evict whatever still falls below the new span.
+		for ext-r.minExt >= uint64(len(r.slots)) && len(r.slots) < s.ringMax {
+			r.growLocked(sh)
+		}
+		if span := uint64(len(r.slots)); ext-r.minExt >= span {
+			target := ext - span + 1
+			for r.count > 0 && r.oldestLocked() < target {
+				sh.evictLowestLocked(r, &sh.evictedCount)
+			}
+			if r.count > 0 && r.minExt < target {
+				r.minExt = target
+			}
+		}
+		if r.count == 0 {
+			r.minExt = ext
+		}
+		r.maxExt = ext
+	}
+	// ext ≤ maxExt and ≥ minExt here when filling a gap.
+
+	slot := &r.slots[ext&r.mask]
+	if slot.StoreSeq == ext && r.presentLocked(ext) {
+		// Duplicate append of a retained sequence (the filter screens
+		// these out upstream; be idempotent anyway): replace in place.
+		r.bytes -= int64(len(slot.Msg.Payload))
+		sh.retainedBytes.Add(-int64(len(slot.Msg.Payload)))
+		r.count--
+		sh.retainedMessages.Add(-1)
+	}
+	buf := slot.Msg.Payload
+	*slot = d
+	slot.Msg.Payload = append(buf[:0], d.Msg.Payload...)
+	slot.StoreSeq = ext
+	r.count++
+	r.bytes += int64(len(slot.Msg.Payload))
+	sh.retainedMessages.Add(1)
+	sh.retainedBytes.Add(int64(len(slot.Msg.Payload)))
+
+	// Retention bounds, oldest-first. The newest entry always survives.
+	for r.count > s.opts.MaxMessages {
+		sh.evictLowestLocked(r, &sh.evictedCount)
+	}
+	if s.opts.MaxBytes > 0 {
+		for r.bytes > s.opts.MaxBytes && r.count > 1 {
+			sh.evictLowestLocked(r, &sh.evictedBytes)
+		}
+	}
+	if s.opts.MaxAge > 0 {
+		cutoff := d.At.Add(-s.opts.MaxAge)
+		for r.count > 1 {
+			old := &r.slots[r.oldestLocked()&r.mask]
+			if !old.At.Before(cutoff) {
+				break
+			}
+			sh.evictLowestLocked(r, &sh.evictedAge)
+		}
+	}
+	sh.mu.Unlock()
+	return ext
+}
+
+// growLocked doubles the ring and re-homes retained entries (extended
+// sequences are stable; only the slot mapping changes). Caller holds mu.
+func (r *ring) growLocked(sh *shard) {
+	old := r.slots
+	oldMask := r.mask
+	r.slots = make([]filtering.Delivery, len(old)*2)
+	r.mask = uint64(len(r.slots)) - 1
+	if r.count == 0 {
+		return
+	}
+	for ext := r.minExt; ext <= r.maxExt; ext++ {
+		if e := old[ext&oldMask]; e.StoreSeq == ext {
+			r.slots[ext&r.mask] = e
+		}
+	}
+}
+
+// oldestLocked returns the lowest occupied extended sequence. It never
+// mutates the window: minExt moves only on eviction, so read queries can
+// never change a later append's behind-window decision. Caller holds mu;
+// r.count must be > 0.
+func (r *ring) oldestLocked() uint64 {
+	ext := r.minExt
+	for !r.presentLocked(ext) {
+		ext++
+	}
+	return ext
+}
+
+// evictLowestLocked removes the oldest retained entry, crediting the
+// eviction to *reason. The slot keeps its payload buffer for reuse; only
+// the occupancy marker and accounting change. Caller holds mu.
+func (sh *shard) evictLowestLocked(r *ring, reason *int64) {
+	ext := r.oldestLocked()
+	slot := &r.slots[ext&r.mask]
+	r.bytes -= int64(len(slot.Msg.Payload))
+	sh.retainedBytes.Add(-int64(len(slot.Msg.Payload)))
+	slot.StoreSeq = 0
+	slot.Msg.Payload = slot.Msg.Payload[:0]
+	r.count--
+	sh.retainedMessages.Add(-1)
+	*reason++
+	r.minExt = ext + 1
+	if r.count == 0 {
+		r.minExt, r.maxExt = 0, 0
+	}
+}
+
+// evictAllLocked empties the ring, crediting *reason per entry.
+func (sh *shard) evictAllLocked(r *ring, reason *int64) {
+	for r.count > 0 {
+		sh.evictLowestLocked(r, reason)
+	}
+}
+
+// LastSeq returns the highest extended sequence ever assigned on the
+// stream (retained or not); ok is false when the store has never seen it.
+func (s *Store) LastSeq(id wire.StreamID) (uint64, bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.streams[id]
+	if !ok || r.lastExt == 0 {
+		return 0, false
+	}
+	return r.lastExt, true
+}
+
+// FirstSeq returns the lowest retained extended sequence; ok is false when
+// nothing is retained.
+func (s *Store) FirstSeq(id wire.StreamID) (uint64, bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.streams[id]
+	if !ok || r.count == 0 {
+		return 0, false
+	}
+	return r.oldestLocked(), true
+}
+
+// OldestSince returns the extended sequence and payload size of the first
+// retained entry at or after from.
+func (s *Store) OldestSince(id wire.StreamID, from uint64) (seq uint64, size int, ok bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, rok := sh.streams[id]
+	if !rok || r.count == 0 {
+		return 0, 0, false
+	}
+	ext := r.oldestLocked()
+	if ext < from {
+		ext = from
+	}
+	for ; ext <= r.maxExt; ext++ {
+		if r.presentLocked(ext) {
+			return ext, len(r.slots[ext&r.mask].Msg.Payload), true
+		}
+	}
+	return 0, 0, false
+}
+
+// Range returns copies of the retained deliveries with extended sequences
+// in [from, to], ascending. Payloads are detached copies; the result is
+// safe to hold indefinitely.
+func (s *Store) Range(id wire.StreamID, from, to uint64) []filtering.Delivery {
+	return s.AppendRange(nil, id, from, to)
+}
+
+// AppendRange is Range appending into dst (payloads still freshly copied),
+// for callers that recycle the outer slice across replays.
+func (s *Store) AppendRange(dst []filtering.Delivery, id wire.StreamID, from, to uint64) []filtering.Delivery {
+	s.RangeFunc(id, from, to, func(d filtering.Delivery) bool {
+		d.Msg.Payload = append([]byte(nil), d.Msg.Payload...)
+		dst = append(dst, d)
+		return true
+	})
+	return dst
+}
+
+// RangeFunc visits retained deliveries with extended sequences in
+// [from, to] ascending, stopping early when fn returns false. The visited
+// deliveries borrow store memory: they are valid only during the fn call,
+// which runs under the stream's shard lock — fn must not call back into
+// the Store and must copy anything it keeps.
+func (s *Store) RangeFunc(id wire.StreamID, from, to uint64, fn func(d filtering.Delivery) bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.streams[id]
+	if !ok || r.count == 0 {
+		return
+	}
+	lo, hi := from, to
+	if low := r.oldestLocked(); lo < low {
+		lo = low
+	}
+	if hi > r.maxExt {
+		hi = r.maxExt
+	}
+	for ext := lo; ext <= hi; ext++ {
+		if r.presentLocked(ext) && !fn(r.slots[ext&r.mask]) {
+			return
+		}
+	}
+}
+
+// WindowStats returns the number of retained deliveries and their total
+// payload bytes with extended sequences in [from, to] — what a replay of
+// that window would materialise. Policy views (the Orphanage) report
+// their backlog from this truth so byte/age eviction inside a window can
+// never make the view overstate what a claim will return.
+func (s *Store) WindowStats(id wire.StreamID, from, to uint64) (count int, bytes int64) {
+	s.RangeFunc(id, from, to, func(d filtering.Delivery) bool {
+		count++
+		bytes += int64(len(d.Msg.Payload))
+		return true
+	})
+	return count, bytes
+}
+
+// Latest returns a copy of the newest retained delivery on the stream.
+func (s *Store) Latest(id wire.StreamID) (filtering.Delivery, bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.streams[id]
+	if !ok || r.count == 0 {
+		return filtering.Delivery{}, false
+	}
+	d := r.slots[r.maxExt&r.mask]
+	d.Msg.Payload = append([]byte(nil), d.Msg.Payload...)
+	return d, true
+}
+
+// Since returns copies of the retained deliveries received at or after t,
+// ascending by extended sequence.
+func (s *Store) Since(id wire.StreamID, t time.Time) []filtering.Delivery {
+	var out []filtering.Delivery
+	s.RangeFunc(id, 0, ^uint64(0), func(d filtering.Delivery) bool {
+		if !d.At.Before(t) {
+			d.Msg.Payload = append([]byte(nil), d.Msg.Payload...)
+			out = append(out, d)
+		}
+		return true
+	})
+	return out
+}
+
+// Snapshot returns the last retained value of every stream matched by
+// pred (nil matches all), sorted by stream id — the materialised-view
+// query a dashboard or gateway uses to prime its own state.
+func (s *Store) Snapshot(pred func(wire.StreamID) bool) []filtering.Delivery {
+	var out []filtering.Delivery
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id, r := range sh.streams {
+			if r.count == 0 || (pred != nil && !pred(id)) {
+				continue
+			}
+			d := r.slots[r.maxExt&r.mask]
+			d.Msg.Payload = append([]byte(nil), d.Msg.Payload...)
+			out = append(out, d)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Msg.Stream < out[j].Msg.Stream })
+	return out
+}
+
+// EvictTo drops retained deliveries with extended sequences below upto,
+// returning how many were dropped (credited to Stats.Forgotten). Policy
+// layers — the Orphanage advancing its backlog window — call this.
+func (s *Store) EvictTo(id wire.StreamID, upto uint64) int {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.streams[id]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for r.count > 0 && r.oldestLocked() < upto {
+		sh.evictLowestLocked(r, &sh.forgotten)
+		n++
+	}
+	return n
+}
+
+// Forget drops every retained delivery on the stream (credited to
+// Stats.Forgotten) while keeping its sequence-unwrap state, so addresses
+// never move backwards if the stream resumes. The Orphanage calls this
+// when it evicts an unclaimed stream.
+func (s *Store) Forget(id wire.StreamID) int {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.streams[id]
+	if !ok {
+		return 0
+	}
+	n := r.count
+	sh.evictAllLocked(r, &sh.forgotten)
+	return n
+}
+
+// Streams lists the ids of every stream holding at least one delivery,
+// sorted.
+func (s *Store) Streams() []wire.StreamID {
+	var out []wire.StreamID
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id, r := range sh.streams {
+			if r.count > 0 {
+				out = append(out, id)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// StreamStats returns the retained-window description for one stream; ok
+// is false when the store has never seen it.
+func (s *Store) StreamStats(id wire.StreamID) (StreamStats, bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.streams[id]
+	if !ok {
+		return StreamStats{}, false
+	}
+	st := StreamStats{
+		Stream:   id,
+		NextWire: r.lastWire + 1,
+		Count:    r.count,
+		Bytes:    r.bytes,
+	}
+	if r.count > 0 {
+		st.FirstSeq, st.LastSeq = r.oldestLocked(), r.maxExt
+	}
+	return st, true
+}
+
+// Stats returns an aggregate snapshot summed across shards.
+func (s *Store) Stats() Stats {
+	st := Stats{Shards: s.shardCnt}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.Appended += sh.appended
+		st.DroppedBehind += sh.droppedBehind
+		st.EvictedCount += sh.evictedCount
+		st.EvictedBytes += sh.evictedBytes
+		st.EvictedAge += sh.evictedAge
+		st.Forgotten += sh.forgotten
+		for _, r := range sh.streams {
+			if r.count > 0 {
+				st.Streams++
+			}
+		}
+		sh.mu.Unlock()
+		st.RetainedMessages += sh.retainedMessages.Value()
+		st.RetainedBytes += sh.retainedBytes.Value()
+	}
+	return st
+}

@@ -1,0 +1,273 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/filtering"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+var epoch = time.Date(2003, 5, 19, 0, 0, 0, 0, time.UTC)
+
+func del(stream wire.StreamID, seq wire.Seq, at time.Time, payload []byte) filtering.Delivery {
+	return filtering.Delivery{
+		Msg: wire.Message{Stream: stream, Seq: seq, Payload: payload},
+		At:  at, Receiver: "rx", RSSI: 1,
+	}
+}
+
+func TestAppendAssignsMonotonicExtendedSeqs(t *testing.T) {
+	s := New(Options{})
+	id := wire.MustStreamID(1, 0)
+	for i := 0; i < 5; i++ {
+		ext := s.Append(del(id, wire.Seq(i), epoch, nil))
+		if want := extBase + uint64(i); ext != want {
+			t.Fatalf("append %d: ext = %d, want %d", i, ext, want)
+		}
+	}
+}
+
+func TestUnwrapSurvivesWireWrap(t *testing.T) {
+	s := New(Options{MaxMessages: 8})
+	id := wire.MustStreamID(1, 0)
+	// Walk the wire sequence across the 16-bit wrap: ext must keep
+	// climbing while the wire seq resets to 0.
+	var last uint64
+	for i := 0; i < wire.SeqCount+100; i += 13 {
+		ext := s.Append(del(id, wire.Seq(i), epoch, nil))
+		if ext <= last {
+			t.Fatalf("ext not monotonic across wrap: %d after %d (wire %d)", ext, last, wire.Seq(i))
+		}
+		last = ext
+	}
+	st, _ := s.StreamStats(id)
+	if st.LastSeq != last {
+		t.Fatalf("LastSeq = %d, want %d", st.LastSeq, last)
+	}
+}
+
+func TestCountBoundEvictsOldest(t *testing.T) {
+	s := New(Options{MaxMessages: 4})
+	id := wire.MustStreamID(1, 0)
+	for i := 0; i < 10; i++ {
+		s.Append(del(id, wire.Seq(i), epoch, []byte{byte(i)}))
+	}
+	got := s.Range(id, 0, ^uint64(0))
+	if len(got) != 4 {
+		t.Fatalf("retained %d, want 4", len(got))
+	}
+	for i, d := range got {
+		if d.Msg.Seq != wire.Seq(6+i) {
+			t.Fatalf("entry %d has wire seq %d, want %d", i, d.Msg.Seq, 6+i)
+		}
+	}
+	if st := s.Stats(); st.EvictedCount != 6 || st.RetainedMessages != 4 || st.RetainedBytes != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestByteBoundKeepsNewest(t *testing.T) {
+	s := New(Options{MaxBytes: 10})
+	id := wire.MustStreamID(1, 0)
+	s.Append(del(id, 0, epoch, make([]byte, 6)))
+	s.Append(del(id, 1, epoch, make([]byte, 6))) // 12 > 10: evicts seq 0
+	got := s.Range(id, 0, ^uint64(0))
+	if len(got) != 1 || got[0].Msg.Seq != 1 {
+		t.Fatalf("retained %v", got)
+	}
+	// A single oversized payload is still retained.
+	s.Append(del(id, 2, epoch, make([]byte, 64)))
+	if got := s.Range(id, 0, ^uint64(0)); len(got) != 1 || got[0].Msg.Seq != 2 {
+		t.Fatalf("oversized newest not retained: %v", got)
+	}
+	if st := s.Stats(); st.EvictedBytes != 2 || st.RetainedBytes != 64 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAgeBoundEvictsOnAppend(t *testing.T) {
+	s := New(Options{MaxAge: 10 * time.Second})
+	id := wire.MustStreamID(1, 0)
+	s.Append(del(id, 0, epoch, nil))
+	s.Append(del(id, 1, epoch.Add(5*time.Second), nil))
+	s.Append(del(id, 2, epoch.Add(30*time.Second), nil)) // both older entries expire
+	got := s.Range(id, 0, ^uint64(0))
+	if len(got) != 1 || got[0].Msg.Seq != 2 {
+		t.Fatalf("retained %v, want only seq 2", got)
+	}
+	if st := s.Stats(); st.EvictedAge != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGapFillAndBehindWindowDrop(t *testing.T) {
+	s := New(Options{MaxMessages: 8})
+	id := wire.MustStreamID(1, 0)
+	s.Append(del(id, 0, epoch, nil))
+	s.Append(del(id, 5, epoch, nil)) // gap 1..4
+	ext := s.Append(del(id, 3, epoch, nil))
+	if want := extBase + 3; ext != want {
+		t.Fatalf("late fill ext = %d, want %d", ext, want)
+	}
+	got := s.Range(id, 0, ^uint64(0))
+	if len(got) != 3 || got[0].Msg.Seq != 0 || got[1].Msg.Seq != 3 || got[2].Msg.Seq != 5 {
+		t.Fatalf("range = %v", got)
+	}
+	// Push the window forward so seq 1's address falls behind it; the
+	// late copy is assigned its address but not stored.
+	for i := 6; i < 20; i++ {
+		s.Append(del(id, wire.Seq(i), epoch, nil))
+	}
+	before := s.Stats().RetainedMessages
+	if ext := s.Append(del(id, 1, epoch, nil)); ext != extBase+1 {
+		t.Fatalf("behind ext = %d, want %d", ext, extBase+1)
+	}
+	st := s.Stats()
+	if st.DroppedBehind != 1 || st.RetainedMessages != before {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRangeClampsAndCopies(t *testing.T) {
+	s := New(Options{})
+	id := wire.MustStreamID(1, 0)
+	payload := []byte("abc")
+	s.Append(del(id, 0, epoch, payload))
+	got := s.Range(id, 0, ^uint64(0))
+	if len(got) != 1 || !bytes.Equal(got[0].Msg.Payload, []byte("abc")) {
+		t.Fatalf("range = %v", got)
+	}
+	// Mutating store memory afterwards must not affect the copy.
+	s.Append(del(id, 0, epoch, []byte("zzz"))) // idempotent overwrite of the same address
+	if !bytes.Equal(got[0].Msg.Payload, []byte("abc")) {
+		t.Fatal("Range returned aliased payload")
+	}
+	if r := s.Range(id, extBase+1, extBase+100); len(r) != 0 {
+		t.Fatalf("out-of-window range = %v", r)
+	}
+}
+
+func TestLatestSinceSnapshot(t *testing.T) {
+	s := New(Options{})
+	a, b := wire.MustStreamID(1, 0), wire.MustStreamID(2, 0)
+	for i := 0; i < 4; i++ {
+		s.Append(del(a, wire.Seq(i), epoch.Add(time.Duration(i)*time.Second), []byte{byte(i)}))
+	}
+	s.Append(del(b, 0, epoch, []byte{99}))
+
+	latest, ok := s.Latest(a)
+	if !ok || latest.Msg.Seq != 3 {
+		t.Fatalf("latest = %v %v", latest, ok)
+	}
+	since := s.Since(a, epoch.Add(2*time.Second))
+	if len(since) != 2 || since[0].Msg.Seq != 2 {
+		t.Fatalf("since = %v", since)
+	}
+	snap := s.Snapshot(nil)
+	if len(snap) != 2 || snap[0].Msg.Stream != a || snap[0].Msg.Seq != 3 || snap[1].Msg.Stream != b {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	only := s.Snapshot(func(id wire.StreamID) bool { return id == b })
+	if len(only) != 1 || only[0].Msg.Stream != b {
+		t.Fatalf("filtered snapshot = %v", only)
+	}
+}
+
+func TestEvictToAndForgetKeepAddresses(t *testing.T) {
+	s := New(Options{})
+	id := wire.MustStreamID(1, 0)
+	for i := 0; i < 6; i++ {
+		s.Append(del(id, wire.Seq(i), epoch, []byte{byte(i)}))
+	}
+	if n := s.EvictTo(id, extBase+3); n != 3 {
+		t.Fatalf("EvictTo dropped %d, want 3", n)
+	}
+	if first, _ := s.FirstSeq(id); first != extBase+3 {
+		t.Fatalf("FirstSeq = %d", first)
+	}
+	if n := s.Forget(id); n != 3 {
+		t.Fatalf("Forget dropped %d, want 3", n)
+	}
+	if _, ok := s.Latest(id); ok {
+		t.Fatal("forgotten stream still has a latest value")
+	}
+	// Addresses keep climbing after Forget: the resumed stream must not
+	// reuse handed-out sequence numbers.
+	if ext := s.Append(del(id, 6, epoch, nil)); ext != extBase+6 {
+		t.Fatalf("resumed ext = %d, want %d", ext, extBase+6)
+	}
+	if st := s.Stats(); st.Forgotten != 6 || st.RetainedMessages != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRingGrowsFromSmallStart(t *testing.T) {
+	s := New(Options{MaxMessages: 1024})
+	id := wire.MustStreamID(1, 0)
+	for i := 0; i < 600; i++ {
+		s.Append(del(id, wire.Seq(i), epoch, []byte{byte(i)}))
+	}
+	got := s.Range(id, 0, ^uint64(0))
+	if len(got) != 600 {
+		t.Fatalf("retained %d, want 600", len(got))
+	}
+	for i, d := range got {
+		if d.StoreSeq != extBase+uint64(i) || d.Msg.Seq != wire.Seq(i) {
+			t.Fatalf("entry %d = seq %d ext %d", i, d.Msg.Seq, d.StoreSeq)
+		}
+	}
+}
+
+func TestShardingIsTransparent(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		s := New(Options{Shards: shards, MaxMessages: 16})
+		for sensor := 1; sensor <= 40; sensor++ {
+			id := wire.MustStreamID(wire.SensorID(sensor), 0)
+			for i := 0; i < 20; i++ {
+				s.Append(del(id, wire.Seq(i), epoch, []byte{byte(sensor)}))
+			}
+		}
+		st := s.Stats()
+		if st.Streams != 40 || st.RetainedMessages != 40*16 || st.Shards != shards {
+			t.Fatalf("shards=%d stats = %+v", shards, st)
+		}
+		if got := len(s.Streams()); got != 40 {
+			t.Fatalf("shards=%d streams = %d", shards, got)
+		}
+	}
+}
+
+func TestAppendZeroAllocSteadyState(t *testing.T) {
+	s := New(Options{MaxMessages: 64})
+	id := wire.MustStreamID(1, 0)
+	payload := make([]byte, 32)
+	seq := 0
+	// Warm up: grow the ring to capacity and the slot buffers to the
+	// payload working-set size.
+	for ; seq < 256; seq++ {
+		s.Append(del(id, wire.Seq(seq), epoch, payload))
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Append(del(id, wire.Seq(seq), epoch, payload))
+		seq++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Append allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestOldestSince(t *testing.T) {
+	s := New(Options{})
+	id := wire.MustStreamID(1, 0)
+	s.Append(del(id, 0, epoch, []byte("ab")))
+	s.Append(del(id, 4, epoch, []byte("cdef"))) // 1..3 are holes
+	seq, size, ok := s.OldestSince(id, extBase+1)
+	if !ok || seq != extBase+4 || size != 4 {
+		t.Fatalf("OldestSince = %d %d %v", seq, size, ok)
+	}
+	if _, _, ok := s.OldestSince(id, extBase+5); ok {
+		t.Fatal("OldestSince past the window reported ok")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"github.com/garnet-middleware/garnet/internal/security"
 	"github.com/garnet-middleware/garnet/internal/sensor"
 	"github.com/garnet-middleware/garnet/internal/sim"
+	"github.com/garnet-middleware/garnet/internal/store"
 	"github.com/garnet-middleware/garnet/internal/transmit"
 	"github.com/garnet-middleware/garnet/internal/wire"
 )
@@ -185,6 +186,11 @@ type (
 	StreamInfo = dispatch.StreamInfo
 	// OrphanInfo describes an unclaimed stream held by the Orphanage.
 	OrphanInfo = orphanage.Info
+	// StoreStats is the Stream Store's aggregate snapshot (retention,
+	// eviction and replay accounting; part of Snapshot).
+	StoreStats = store.Stats
+	// StoreStreamStats describes one stream's retained window.
+	StoreStreamStats = store.StreamStats
 )
 
 // Subscription pattern helpers.
