@@ -15,6 +15,7 @@
 //	garnet-inspect 4a00000...              # decode a data frame
 //	garnet-inspect -control 40001...       # decode a control frame
 //	garnet-inspect -store -retain 4 f1 f2  # retention view of a trace
+//	garnet-inspect -store -codec auto f1   # … with the cold compressed tier on
 //	echo 4a0000... | garnet-inspect        # read hex from stdin
 package main
 
@@ -30,6 +31,7 @@ import (
 
 	"github.com/garnet-middleware/garnet/internal/filtering"
 	"github.com/garnet-middleware/garnet/internal/store"
+	"github.com/garnet-middleware/garnet/internal/store/codec"
 	"github.com/garnet-middleware/garnet/internal/wire"
 )
 
@@ -46,6 +48,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	control := fs.Bool("control", false, "decode as downlink control messages")
 	storeDump := fs.Bool("store", false, "feed data frames through a Stream Store and dump the retention view")
 	retain := fs.Int("retain", 0, "per-stream retention bound for -store (0 = default)")
+	codecName := fs.String("codec", "", "cold-tier codec for -store: auto, gorilla, rle, lz or raw (\"\" = compression off)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // usage already printed; -h is not an error
@@ -54,6 +57,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	if *control && *storeDump {
 		return fmt.Errorf("-control and -store are mutually exclusive")
+	}
+	if *codecName != "" {
+		if !*storeDump {
+			return fmt.Errorf("-codec requires -store")
+		}
+		if _, err := codec.PickerFor(*codecName); err != nil {
+			return err
+		}
 	}
 
 	inputs := fs.Args()
@@ -81,7 +92,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		frames = append(frames, frame)
 	}
 	if *storeDump {
-		return inspectStore(stdout, frames, *retain)
+		return inspectStore(stdout, frames, *retain, *codecName)
 	}
 	for _, frame := range frames {
 		if *control {
@@ -148,9 +159,12 @@ func inspectControl(w io.Writer, frame []byte) error {
 }
 
 // inspectStore appends every decoded data frame into a fresh Stream Store
-// and dumps the retention view it produces.
-func inspectStore(w io.Writer, frames [][]byte, retain int) error {
-	st := store.New(store.Options{Shards: 1, MaxMessages: retain})
+// and dumps the retention view it produces. With a codec named, evictions
+// seal into the cold compressed tier (small blocks, so even short traces
+// seal some) and the dump grows per-stream codec and compression-ratio
+// columns.
+func inspectStore(w io.Writer, frames [][]byte, retain int, codecName string) error {
+	st := store.New(store.Options{Shards: 1, MaxMessages: retain, Codec: codecName, BlockSize: 8})
 	for i, frame := range frames {
 		msg, _, err := wire.DecodeMessage(frame)
 		if err != nil {
@@ -165,10 +179,19 @@ func inspectStore(w io.Writer, frames [][]byte, retain int) error {
 	if evicted := stats.EvictedCount + stats.EvictedBytes + stats.EvictedAge; evicted > 0 || stats.DroppedBehind > 0 {
 		fmt.Fprintf(w, "  evicted %d, dropped-behind %d\n", evicted, stats.DroppedBehind)
 	}
+	if stats.Codec != "" {
+		fmt.Fprintf(w, "  codec %s: %d blocks sealed, %d messages, %d B compressed from %d B raw\n",
+			stats.Codec, stats.SealedBlocks, stats.SealedMessages, stats.ColdBytes, stats.ColdRawBytes)
+	}
 	for _, id := range streams {
 		ss, _ := st.StreamStats(id)
-		fmt.Fprintf(w, "stream %v: %d retained, store seq %d..%d, next wire seq %d, %d B\n",
+		fmt.Fprintf(w, "stream %v: %d retained, store seq %d..%d, next wire seq %d, %d B",
 			id, ss.Count, ss.FirstSeq, ss.LastSeq, ss.NextWire, ss.Bytes)
+		if ss.ColdBlocks > 0 {
+			ratio := float64(ss.ColdRawBytes) / float64(ss.ColdBytes)
+			fmt.Fprintf(w, ", codec %s ×%.1f (%d cold in %d B)", ss.Codec, ratio, ss.ColdMessages, ss.ColdBytes)
+		}
+		fmt.Fprintln(w)
 		st.RangeFunc(id, 0, ^uint64(0), func(d filtering.Delivery) bool {
 			fmt.Fprintf(w, "  seq %-8d wire %-5d flags %-10v %d B", d.StoreSeq, d.Msg.Seq, d.Msg.Flags, len(d.Msg.Payload))
 			if len(d.Msg.Payload) > 0 {

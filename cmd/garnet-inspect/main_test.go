@@ -154,3 +154,37 @@ func TestInspectHelpIsNotAnError(t *testing.T) {
 		t.Errorf("usage leaked to stdout: %q", out.String())
 	}
 }
+
+func TestInspectStoreCodecColumns(t *testing.T) {
+	var frames []string
+	payload := []byte{0x40, 0x35, 0x80, 0, 0, 0, 0, 0} // constant f64 21.5
+	for seq := 0; seq < 20; seq++ {
+		frames = append(frames, dataFrame(t, wire.Message{
+			Stream: wire.MustStreamID(3, 0), Seq: wire.Seq(seq), Payload: payload,
+		}))
+	}
+	got := runInspect(t, append([]string{"-store", "-retain", "4", "-codec", "auto"}, frames...), "")
+	// Evictions seal instead of dropping: everything stays replayable.
+	if !strings.Contains(got, "20 retained messages") {
+		t.Errorf("sealed entries dropped from the dump:\n%s", got)
+	}
+	if !strings.Contains(got, "codec auto: 2 blocks sealed, 16 messages") {
+		t.Errorf("cold-tier summary missing:\n%s", got)
+	}
+	if !strings.Contains(got, ", codec ") || !strings.Contains(got, "16 cold in ") {
+		t.Errorf("per-stream codec/ratio column missing:\n%s", got)
+	}
+	if strings.Contains(got, "evicted ") {
+		t.Errorf("compressed dump reports evictions:\n%s", got)
+	}
+}
+
+func TestInspectCodecFlagValidation(t *testing.T) {
+	frame := dataFrame(t, wire.Message{Stream: wire.MustStreamID(1, 0), Seq: 0})
+	if err := run([]string{"-codec", "auto", frame}, strings.NewReader(""), &strings.Builder{}, &strings.Builder{}); err == nil {
+		t.Fatal("-codec without -store accepted")
+	}
+	if err := run([]string{"-store", "-codec", "zstd", frame}, strings.NewReader(""), &strings.Builder{}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown codec name accepted")
+	}
+}

@@ -161,6 +161,26 @@ func WithStoreShards(n int) Option {
 	return func(cfg *core.Config) { cfg.Store.Shards = n }
 }
 
+// WithStoreCompression enables the Stream Store's cold compressed tier:
+// deliveries pushed out of the hot ring by the WithStoreRetention bounds
+// are sealed into immutable compressed blocks instead of being dropped,
+// and Replay, SubscribeWithReplay, Range and the Orphanage backlog read
+// them back transparently. codec selects the block codec — "auto" picks
+// per block ("gorilla" for fixed 64-bit numeric series, "rle" for
+// repetitive payloads, "lz" for general bytes, "raw" to store
+// uncompressed); naming one pins it. coldBudget bounds the compressed
+// bytes kept per stream (<= 0 keeps the default, 64 KiB); the oldest
+// blocks are dropped past it and the newest always survives. New panics
+// on an unknown codec name, like a malformed retention bound would — a
+// typo here must not silently turn history off. See README, "Retention &
+// replay tuning".
+func WithStoreCompression(codec string, coldBudget int64) Option {
+	return func(cfg *core.Config) {
+		cfg.Store.Codec = codec
+		cfg.Store.ColdBudget = coldBudget
+	}
+}
+
 // WithActuationRetry tunes the Actuation Service's retry loop. It
 // composes with WithControlShards and WithActuationCoalescing in any
 // order.

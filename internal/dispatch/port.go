@@ -326,16 +326,32 @@ func (p *port) endGate(replay []filtering.Delivery, stream wire.StreamID, syncMo
 		p.mu.Unlock()
 		return
 	}
-	if len(replay) > 0 {
-		p.mu.Lock()
-		p.raiseFloorLocked(stream, replay)
+	p.mu.Lock()
+	if p.closed {
+		// Unsubscribe raced the catch-up: the consumer must not see the
+		// replay batch or the held backlog after close. Account both as
+		// drops, the way close() drains held, and release the gate.
+		p.dropClosedGateLocked(len(replay))
 		p.mu.Unlock()
+		return
 	}
+	if len(replay) > 0 {
+		p.raiseFloorLocked(stream, replay)
+	}
+	p.mu.Unlock()
 	for _, d := range replay {
 		p.consumer.Consume(d)
 	}
 	for {
 		p.mu.Lock()
+		if p.closed {
+			// Closed while the previous batch was being consumed; any
+			// held deliveries that accumulated since close() reach no
+			// consumer.
+			p.dropClosedGateLocked(0)
+			p.mu.Unlock()
+			return
+		}
 		if p.gateCount > 1 {
 			// See the async branch: the last gate standing drains held.
 			p.gateCount--
@@ -362,6 +378,24 @@ func (p *port) endGate(replay []filtering.Delivery, stream wire.StreamID, syncMo
 			p.consumer.Consume(d)
 		}
 	}
+}
+
+// dropClosedGateLocked accounts a raced-out catch-up on a closed port:
+// nReplay replay deliveries plus whatever held backlog accumulated after
+// close() count as drops, and the gate this endGate owned is released.
+// Caller holds mu; p.closed is true.
+func (p *port) dropClosedGateLocked(nReplay int) {
+	for i := 0; i < nReplay+len(p.held); i++ {
+		p.dropped.Inc()
+		p.selfDrop.Inc()
+	}
+	p.held = nil
+	if p.gateCount > 1 {
+		p.gateCount--
+		return
+	}
+	p.gateCount = 0
+	p.gated.Store(false)
 }
 
 // run drains the queue until the port is closed and empty, taking up to

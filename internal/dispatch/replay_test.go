@@ -1,14 +1,35 @@
 package dispatch
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"github.com/garnet-middleware/garnet/internal/filtering"
+	"github.com/garnet-middleware/garnet/internal/metrics"
 	"github.com/garnet-middleware/garnet/internal/store"
 	"github.com/garnet-middleware/garnet/internal/wire"
 )
+
+// closeOnConsume records deliveries and closes its own port from inside
+// the first Consume call, then diverts one more delivery into the gate —
+// the shape of an Unsubscribe racing a sync held-batch flush.
+type closeOnConsume struct {
+	p      *port
+	stream wire.StreamID
+	rec    seqRecorder
+	once   sync.Once
+}
+
+func (c *closeOnConsume) Name() string { return "close-on-consume" }
+func (c *closeOnConsume) Consume(d filtering.Delivery) {
+	c.rec.Consume(d)
+	c.once.Do(func() {
+		c.p.close()
+		c.p.tryHold(filtering.Delivery{Msg: wire.Message{Stream: c.stream}, StoreSeq: 51})
+	})
+}
 
 // seqRecorder records the StoreSeq of every delivery it consumes.
 type seqRecorder struct {
@@ -354,6 +375,123 @@ func TestReplayFloorPassesGapFills(t *testing.T) {
 		}
 		if got := seqs[4]; got != fill.StoreSeq {
 			t.Fatalf("mode %v: last delivery %d, want the gap fill %d", mode, got, fill.StoreSeq)
+		}
+	}
+}
+
+// TestEndGateOnClosedPortSync is the deterministic white-box regression
+// for the sync-mode close race: endGate used to deliver the replay batch
+// and flush the held backlog through Consume without checking closed, so
+// a consumer whose last subscription was removed mid catch-up could keep
+// receiving deliveries after Unsubscribe returned. A closed port's
+// endGate must deliver nothing, account every suppressed delivery as a
+// drop, and still release the gate.
+func TestEndGateOnClosedPortSync(t *testing.T) {
+	var dropped, selfDrop metrics.Counter
+	rec := &seqRecorder{}
+	p := newPort(rec, 8, 8, DropOldest, &dropped, &selfDrop)
+	stream := wire.MustStreamID(5, 0)
+
+	p.beginGate()
+	p.held = append(p.held, filtering.Delivery{StoreSeq: 100})
+	p.close() // accounts the one held delivery as a drop
+	if got := dropped.Value(); got != 1 {
+		t.Fatalf("drops after close: %d, want 1", got)
+	}
+	// A live delivery diverted by tryHold between close and endGate
+	// (the gate is still open, so Dispatch still holds).
+	if !p.tryHold(filtering.Delivery{Msg: wire.Message{Stream: stream}, StoreSeq: 101}) {
+		t.Fatal("tryHold should divert while the gate is open")
+	}
+
+	replay := []filtering.Delivery{{StoreSeq: 1}, {StoreSeq: 2}, {StoreSeq: 3}}
+	p.endGate(replay, stream, true, &shard{})
+
+	if got := rec.snapshot(); len(got) != 0 {
+		t.Fatalf("closed port consumed %v, want nothing", got)
+	}
+	// 1 held at close + 3 replay + 1 held after close.
+	if got := dropped.Value(); got != 5 {
+		t.Fatalf("drops: %d, want 5", got)
+	}
+	if got := selfDrop.Value(); got != 5 {
+		t.Fatalf("self drops: %d, want 5", got)
+	}
+	p.mu.Lock()
+	gateCount, gated, heldLen := p.gateCount, p.gated.Load(), len(p.held)
+	p.mu.Unlock()
+	if gateCount != 0 || gated || heldLen != 0 {
+		t.Fatalf("gate not released: count=%d gated=%v held=%d", gateCount, gated, heldLen)
+	}
+}
+
+// TestEndGateClosedMidFlushSync covers the second window: the port
+// closes while a held batch is being consumed outside the lock, and new
+// held deliveries accumulate; the next loop iteration must drop them
+// instead of delivering.
+func TestEndGateClosedMidFlushSync(t *testing.T) {
+	var dropped, selfDrop metrics.Counter
+	stream := wire.MustStreamID(5, 1)
+	// The consumer closes its own port mid-flush, as if Unsubscribe ran
+	// while the batch was being consumed, then one more live delivery
+	// diverts into the still-open gate.
+	closer := &closeOnConsume{stream: stream}
+	p := newPort(closer, 8, 8, DropOldest, &dropped, &selfDrop)
+	closer.p = p
+	p.beginGate()
+	p.held = append(p.held, filtering.Delivery{Msg: wire.Message{Stream: stream}, StoreSeq: 50})
+	p.endGate(nil, stream, true, &shard{})
+	seqs := closer.rec.snapshot()
+	if len(seqs) != 1 || seqs[0] != 50 {
+		t.Fatalf("flushed %v, want just the pre-close 50", seqs)
+	}
+	if got := dropped.Value(); got != 1 {
+		t.Fatalf("drops: %d, want 1 (the post-close hold)", got)
+	}
+}
+
+// TestSubscribeWithReplayRacesUnsubscribe drives the close race through
+// the public API in both modes: Unsubscribe removes the catch-up
+// subscription while fetch is still materialising the backlog, so the
+// port is closed by the time endGate places the replay. The consumer
+// must see nothing and the batch must be accounted as drops. Runs under
+// -race in CI.
+func TestSubscribeWithReplayRacesUnsubscribe(t *testing.T) {
+	for _, mode := range []Mode{ModeSync, ModeAsync} {
+		d := New(Options{Mode: mode, QueueCapacity: 64})
+		d.Start()
+		stream := wire.MustStreamID(9, 0)
+		rec := &seqRecorder{}
+
+		fetchStarted := make(chan struct{})
+		unsubDone := make(chan struct{})
+		go func() {
+			<-fetchStarted
+			// The catch-up subscription is registered before fetch runs
+			// and is this dispatcher's first id.
+			for !d.Unsubscribe(1) {
+				runtime.Gosched()
+			}
+			close(unsubDone)
+		}()
+		backlog := []filtering.Delivery{
+			{Msg: wire.Message{Stream: stream, Seq: 1}, StoreSeq: 65537},
+			{Msg: wire.Message{Stream: stream, Seq: 2}, StoreSeq: 65538},
+		}
+		_, n, err := d.SubscribeWithReplay(rec, stream, func() []filtering.Delivery {
+			close(fetchStarted)
+			<-unsubDone
+			return backlog
+		})
+		if err != nil || n != len(backlog) {
+			t.Fatalf("mode %v: n=%d err=%v", mode, n, err)
+		}
+		d.Stop()
+		if got := rec.snapshot(); len(got) != 0 {
+			t.Fatalf("mode %v: closed consumer saw %v", mode, got)
+		}
+		if got := d.Stats().Dropped; got != int64(len(backlog)) {
+			t.Fatalf("mode %v: dropped %d, want %d", mode, got, len(backlog))
 		}
 	}
 }

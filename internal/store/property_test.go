@@ -2,7 +2,9 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -26,6 +28,12 @@ type refStore struct {
 	maxBytes int64
 	maxAge   time.Duration
 	streams  map[wire.StreamID]*refStream
+
+	// freeze models the compressed store's cold tier: entries evicted by
+	// the retention bounds move to a frozen list instead of disappearing,
+	// exactly as the real store seals them into cold blocks. Queries
+	// return frozen ∪ live.
+	freeze bool
 }
 
 type refEntry struct {
@@ -35,6 +43,7 @@ type refEntry struct {
 
 type refStream struct {
 	entries  []refEntry // present entries, ascending ext
+	frozen   []refEntry // bound-evicted entries, ascending ext (freeze mode)
 	span     int        // current ring span (grows 8 → ringMax)
 	minExt   uint64
 	maxExt   uint64
@@ -55,9 +64,12 @@ func newRefStore(opts Options) *refStore {
 	}
 }
 
-func (r *refStream) evictOldest() {
+func (r *refStream) evictOldest(freeze bool) {
 	e := r.entries[0]
 	r.entries = r.entries[1:]
+	if freeze {
+		r.frozen = append(r.frozen, e)
+	}
 	r.minExt = e.ext + 1
 	if len(r.entries) == 0 {
 		r.minExt, r.maxExt = 0, 0
@@ -91,7 +103,7 @@ func (rs *refStore) append(d filtering.Delivery) uint64 {
 		if ext-r.minExt >= uint64(r.span) {
 			target := ext - uint64(r.span) + 1
 			for len(r.entries) > 0 && r.entries[0].ext < target {
-				r.evictOldest()
+				r.evictOldest(rs.freeze)
 			}
 			if len(r.entries) > 0 && r.minExt < target {
 				r.minExt = target
@@ -113,20 +125,104 @@ func (rs *refStore) append(d filtering.Delivery) uint64 {
 		r.entries[at] = refEntry{ext: ext, d: d}
 	}
 	for len(r.entries) > rs.maxMsgs {
-		r.evictOldest()
+		r.evictOldest(rs.freeze)
 	}
 	if rs.maxBytes > 0 {
 		for r.bytes() > rs.maxBytes && len(r.entries) > 1 {
-			r.evictOldest()
+			r.evictOldest(rs.freeze)
 		}
 	}
 	if rs.maxAge > 0 {
 		cutoff := d.At.Add(-rs.maxAge)
 		for len(r.entries) > 1 && r.entries[0].d.At.Before(cutoff) {
-			r.evictOldest()
+			r.evictOldest(rs.freeze)
 		}
 	}
 	return ext
+}
+
+// all returns frozen ∪ live in ascending extended-sequence order. Every
+// frozen entry precedes every live one: frozen entries are evicted off
+// the window's low edge and below-window appends are dropped.
+func (r *refStream) all() []refEntry {
+	if len(r.frozen) == 0 {
+		return r.entries
+	}
+	out := make([]refEntry, 0, len(r.frozen)+len(r.entries))
+	out = append(out, r.frozen...)
+	return append(out, r.entries...)
+}
+
+// evictTo mirrors Store.EvictTo: drop everything (frozen and live) with
+// ext < upto — possibly emptying the stream. Returns dropped.
+func (rs *refStore) evictTo(id wire.StreamID, upto uint64) int {
+	r, ok := rs.streams[id]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for len(r.frozen) > 0 && r.frozen[0].ext < upto {
+		r.frozen = r.frozen[1:]
+		n++
+	}
+	for len(r.entries) > 0 && r.entries[0].ext < upto {
+		r.evictOldest(false)
+		n++
+	}
+	return n
+}
+
+// forget mirrors Store.Forget: drop the stream entirely. Returns dropped.
+func (rs *refStore) forget(id wire.StreamID) int {
+	r, ok := rs.streams[id]
+	if !ok {
+		return 0
+	}
+	n := len(r.frozen) + len(r.entries)
+	delete(rs.streams, id)
+	return n
+}
+
+func (rs *refStore) firstSeq(id wire.StreamID) (uint64, bool) {
+	r, ok := rs.streams[id]
+	if !ok {
+		return 0, false
+	}
+	if len(r.frozen) > 0 {
+		return r.frozen[0].ext, true
+	}
+	if len(r.entries) > 0 {
+		return r.entries[0].ext, true
+	}
+	return 0, false
+}
+
+func (rs *refStore) oldestSince(id wire.StreamID, from uint64) (uint64, int, bool) {
+	r, ok := rs.streams[id]
+	if !ok {
+		return 0, 0, false
+	}
+	for _, e := range r.all() {
+		if e.ext >= from {
+			return e.ext, len(e.d.Msg.Payload), true
+		}
+	}
+	return 0, 0, false
+}
+
+func (rs *refStore) windowStats(id wire.StreamID, from, to uint64) (int, int64) {
+	r, ok := rs.streams[id]
+	if !ok {
+		return 0, 0
+	}
+	count, bytes := 0, int64(0)
+	for _, e := range r.all() {
+		if e.ext >= from && e.ext <= to {
+			count++
+			bytes += int64(len(e.d.Msg.Payload))
+		}
+	}
+	return count, bytes
 }
 
 func (r *refStream) bytes() int64 {
@@ -143,7 +239,7 @@ func (rs *refStore) rng(id wire.StreamID, from, to uint64) []filtering.Delivery 
 		return nil
 	}
 	var out []filtering.Delivery
-	for _, e := range r.entries {
+	for _, e := range r.all() {
 		if e.ext >= from && e.ext <= to {
 			out = append(out, e.d)
 		}
@@ -165,12 +261,32 @@ func (rs *refStore) since(id wire.StreamID, t time.Time) []filtering.Delivery {
 		return nil
 	}
 	var out []filtering.Delivery
-	for _, e := range r.entries {
+	for _, e := range r.all() {
 		if !e.d.At.Before(t) {
 			out = append(out, e.d)
 		}
 	}
 	return out
+}
+
+// sameDeliveriesFull is sameDeliveries plus every field a codec must
+// round-trip: receiver, RSSI (bit-exact), flags and their conditional
+// wire fields. Used by the compressed-store differential, where a lossy
+// codec would slip past the payload-only comparator.
+func sameDeliveriesFull(a, b []filtering.Delivery) error {
+	if err := sameDeliveries(a, b); err != nil {
+		return err
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Receiver != y.Receiver ||
+			math.Float64bits(x.RSSI) != math.Float64bits(y.RSSI) ||
+			x.Msg.Flags != y.Msg.Flags || x.Msg.AckID != y.Msg.AckID ||
+			x.Msg.HopCount != y.Msg.HopCount || x.Msg.FusedCount != y.Msg.FusedCount {
+			return fmt.Errorf("entry %d metadata: %+v vs %+v", i, x, y)
+		}
+	}
+	return nil
 }
 
 func sameDeliveries(a, b []filtering.Delivery) error {
@@ -292,6 +408,230 @@ func TestStoreMatchesReferenceProperty(t *testing.T) {
 			if st.RetainedMessages != wantMsgs || st.RetainedBytes != wantBytes {
 				t.Fatalf("trial %d shards=%d: retained %d msgs/%d B, ref %d/%d",
 					trial, shardCounts[i], st.RetainedMessages, st.RetainedBytes, wantMsgs, wantBytes)
+			}
+		}
+	}
+}
+
+// TestCompressedStoreMatchesFrozenReference is the compressed-tier
+// differential: the reference freezes bound-evicted entries instead of
+// dropping them, exactly as the store seals them into cold blocks, so
+// every query over frozen ∪ live must match the store's cold → stage →
+// hot stitching byte for byte. Each codec (and auto) runs at shard
+// counts 1, 4 and 16 over workloads mixing wire-seq wraps, forward
+// jumps, late fills, duplicate re-appends, per-stream payload shapes
+// chosen to favour different codecs, rotating receivers, flagged
+// messages, and occasional EvictTo (exercising the block split) and
+// Forget.
+func TestCompressedStoreMatchesFrozenReference(t *testing.T) {
+	shardCounts := []int{1, 4, 16}
+	codecs := []string{"raw", "gorilla", "rle", "lz", "auto"}
+	for ci, codecName := range codecs {
+		for trial := 0; trial < 2; trial++ {
+			rng := rand.New(rand.NewSource(int64(100*ci + trial)))
+			opts := Options{
+				MaxMessages: []int{8, 16}[trial],
+				MaxBytes:    []int64{0, 400}[trial],
+				MaxAge:      []time.Duration{0, 40 * time.Second}[trial],
+				Codec:       codecName,
+				ColdBudget:  1 << 40, // effectively unbounded: the reference never thaws
+				BlockSize:   8,
+			}
+			stores := make([]*Store, len(shardCounts))
+			for i, n := range shardCounts {
+				o := opts
+				o.Shards = n
+				stores[i] = New(o)
+			}
+			ref := newRefStore(opts)
+			ref.freeze = true
+
+			streams := make([]wire.StreamID, 4)
+			wireSeq := make([]int, len(streams))
+			for i := range streams {
+				streams[i] = wire.MustStreamID(wire.SensorID(rng.Intn(1000)+1), wire.StreamIndex(i))
+				wireSeq[i] = rng.Intn(wire.SeqCount) // some start near the wrap
+			}
+			receivers := []string{"rx-alpha", "rx-beta", "rx-gamma"}
+			now := epoch
+
+			// payload produces a per-stream shape: constant words (RLE),
+			// smooth float ramps (Gorilla), repetitive text (LZ) and
+			// incompressible noise (raw fallback).
+			payload := func(si, step int) []byte {
+				switch si % 4 {
+				case 0:
+					var b [8]byte
+					binary.BigEndian.PutUint64(b[:], math.Float64bits(21.5))
+					return b[:]
+				case 1:
+					var b [8]byte
+					binary.BigEndian.PutUint64(b[:], math.Float64bits(20.0+0.125*float64(step%64)))
+					return b[:]
+				case 2:
+					return []byte(fmt.Sprintf("sensor reading %d ok", step%32))
+				default:
+					b := make([]byte, rng.Intn(40))
+					for i := range b {
+						b[i] = byte(rng.Intn(256))
+					}
+					return b
+				}
+			}
+
+			for step := 0; step < 500; step++ {
+				si := rng.Intn(len(streams))
+				id := streams[si]
+				now = now.Add(time.Duration(rng.Intn(3000)) * time.Millisecond)
+
+				seq := wireSeq[si]
+				switch k := rng.Intn(10); {
+				case k < 7:
+					wireSeq[si]++
+				case k < 9: // forward jump, crossing the wrap over a trial
+					wireSeq[si] += rng.Intn(100) + 2
+				default: // late fill / duplicate re-append behind the head
+					seq -= rng.Intn(20) + 1
+				}
+				d := filtering.Delivery{
+					At:       now,
+					Receiver: receivers[rng.Intn(len(receivers))],
+					RSSI:     -30 - rng.Float64()*40,
+				}
+				d.Msg.Stream = id
+				d.Msg.Seq = wire.Seq(seq)
+				d.Msg.Payload = payload(si, step)
+				switch rng.Intn(20) {
+				case 0, 1:
+					d.Msg.Flags = wire.FlagUpdateAck
+					d.Msg.AckID = uint16(rng.Intn(1 << 16))
+				case 2:
+					d.Msg.Flags = wire.FlagRelayed
+					d.Msg.HopCount = byte(rng.Intn(8))
+				case 3:
+					d.Msg.Flags = wire.FlagFused
+					d.Msg.FusedCount = byte(rng.Intn(5) + 1)
+				}
+
+				wantExt := ref.append(d)
+				for i, s := range stores {
+					if ext := s.Append(d); ext != wantExt {
+						t.Fatalf("codec=%s trial %d step %d shards=%d: ext %d, ref %d",
+							codecName, trial, step, shardCounts[i], ext, wantExt)
+					}
+				}
+
+				// Occasional policy eviction: EvictTo forces cold-block
+				// splits, Forget drops whole streams across all tiers.
+				if step%60 == 59 {
+					tid := streams[rng.Intn(len(streams))]
+					var upto uint64
+					if first, ok := ref.firstSeq(tid); ok {
+						upto = first + uint64(rng.Intn(30))
+					}
+					want := ref.evictTo(tid, upto)
+					for i, s := range stores {
+						if got := s.EvictTo(tid, upto); got != want {
+							t.Fatalf("codec=%s trial %d step %d shards=%d: EvictTo(%d) = %d, ref %d",
+								codecName, trial, step, shardCounts[i], upto, got, want)
+						}
+					}
+				}
+				if step%150 == 149 {
+					tid := streams[rng.Intn(len(streams))]
+					want := ref.forget(tid)
+					for i, s := range stores {
+						if got := s.Forget(tid); got != want {
+							t.Fatalf("codec=%s trial %d step %d shards=%d: Forget = %d, ref %d",
+								codecName, trial, step, shardCounts[i], got, want)
+						}
+					}
+				}
+
+				if step%25 != 0 {
+					continue
+				}
+				qid := streams[rng.Intn(len(streams))]
+				lo := extBase
+				if first, ok := ref.firstSeq(qid); ok {
+					lo = first + uint64(rng.Intn(40))
+				}
+				hi := lo + uint64(rng.Intn(60))
+				qt := epoch.Add(time.Duration(rng.Intn(1500)) * time.Second)
+				wantAll := ref.rng(qid, 0, ^uint64(0))
+				wantSub := ref.rng(qid, lo, hi)
+				wantSince := ref.since(qid, qt)
+				wantLatest, wantOK := ref.latest(qid)
+				wantFirst, wantFirstOK := ref.firstSeq(qid)
+				wantOSeq, wantOSize, wantOOK := ref.oldestSince(qid, lo)
+				wantWC, wantWB := ref.windowStats(qid, lo, hi)
+				for i, s := range stores {
+					tag := fmt.Sprintf("codec=%s trial %d step %d shards=%d stream %v",
+						codecName, trial, step, shardCounts[i], qid)
+					if err := sameDeliveriesFull(s.Range(qid, 0, ^uint64(0)), wantAll); err != nil {
+						t.Fatalf("%s: Range(all): %v", tag, err)
+					}
+					if err := sameDeliveriesFull(s.Range(qid, lo, hi), wantSub); err != nil {
+						t.Fatalf("%s: Range(%d,%d): %v", tag, lo, hi, err)
+					}
+					if err := sameDeliveriesFull(s.Since(qid, qt), wantSince); err != nil {
+						t.Fatalf("%s: Since: %v", tag, err)
+					}
+					gotLatest, gotOK := s.Latest(qid)
+					if gotOK != wantOK {
+						t.Fatalf("%s: Latest ok %v, ref %v", tag, gotOK, wantOK)
+					}
+					if wantOK {
+						if err := sameDeliveriesFull([]filtering.Delivery{gotLatest}, []filtering.Delivery{wantLatest}); err != nil {
+							t.Fatalf("%s: Latest: %v", tag, err)
+						}
+					}
+					gotFirst, gotFirstOK := s.FirstSeq(qid)
+					if gotFirst != wantFirst || gotFirstOK != wantFirstOK {
+						t.Fatalf("%s: FirstSeq = %d,%v, ref %d,%v", tag, gotFirst, gotFirstOK, wantFirst, wantFirstOK)
+					}
+					gotOSeq, gotOSize, gotOOK := s.OldestSince(qid, lo)
+					if gotOSeq != wantOSeq || gotOSize != wantOSize || gotOOK != wantOOK {
+						t.Fatalf("%s: OldestSince(%d) = %d,%d,%v, ref %d,%d,%v",
+							tag, lo, gotOSeq, gotOSize, gotOOK, wantOSeq, wantOSize, wantOOK)
+					}
+					gotWC, gotWB := s.WindowStats(qid, lo, hi)
+					if gotWC != wantWC || gotWB != wantWB {
+						t.Fatalf("%s: WindowStats(%d,%d) = %d,%d, ref %d,%d",
+							tag, lo, hi, gotWC, gotWB, wantWC, wantWB)
+					}
+				}
+			}
+
+			// Final state: with compression on and an unbounded cold
+			// budget nothing is ever lost to the retention bounds — the
+			// Evicted* counters stay zero and the retained gauges equal
+			// the reference's frozen ∪ live totals, reconciling exactly
+			// with the append/loss counters.
+			var wantMsgs, wantBytes int64
+			for _, r := range ref.streams {
+				for _, e := range r.all() {
+					wantMsgs++
+					wantBytes += int64(len(e.d.Msg.Payload))
+				}
+			}
+			for i, s := range stores {
+				st := s.Stats()
+				tag := fmt.Sprintf("codec=%s trial %d shards=%d", codecName, trial, shardCounts[i])
+				if st.EvictedCount != 0 || st.EvictedBytes != 0 || st.EvictedAge != 0 || st.EvictedCold != 0 {
+					t.Fatalf("%s: compressed store lost entries to bounds: %+v", tag, st)
+				}
+				if st.SealedBlocks == 0 {
+					t.Fatalf("%s: no blocks sealed — the cold tier was never exercised", tag)
+				}
+				if st.RetainedMessages != wantMsgs || st.RetainedBytes != wantBytes {
+					t.Fatalf("%s: retained %d msgs/%d B, ref %d/%d",
+						tag, st.RetainedMessages, st.RetainedBytes, wantMsgs, wantBytes)
+				}
+				if got := st.Appended - st.Duplicates - st.DroppedBehind - st.Forgotten; got != st.RetainedMessages {
+					t.Fatalf("%s: stats invariant: appended %d − dup %d − behind %d − forgotten %d = %d, retained %d",
+						tag, st.Appended, st.Duplicates, st.DroppedBehind, st.Forgotten, got, st.RetainedMessages)
+				}
 			}
 		}
 	}

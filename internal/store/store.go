@@ -43,6 +43,7 @@ import (
 
 	"github.com/garnet-middleware/garnet/internal/filtering"
 	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/store/codec"
 	"github.com/garnet-middleware/garnet/internal/wire"
 )
 
@@ -69,6 +70,17 @@ const (
 	minRingSize = 8
 )
 
+// Defaults for the cold compressed tier (Options.Codec != "").
+const (
+	// DefaultColdBudget bounds the compressed cold bytes kept per stream.
+	DefaultColdBudget = int64(1) << 16
+	// DefaultBlockSize is the number of deliveries sealed per cold block.
+	DefaultBlockSize = 64
+	// maxFreeBufs bounds the per-shard free list of recycled block
+	// buffers.
+	maxFreeBufs = 64
+)
+
 // Options configures a Store. The zero value selects the defaults above
 // with no byte or age bound.
 type Options struct {
@@ -86,34 +98,84 @@ type Options struct {
 	// being appended (append-side eviction needs no timer and stays
 	// deterministic on virtual clocks); <= 0 means unbounded.
 	MaxAge time.Duration
+
+	// Codec enables the cold compressed tier: deliveries evicted from the
+	// hot ring by the count/byte/age bounds are sealed into immutable
+	// compressed blocks instead of being dropped, and the read path
+	// stitches them back transparently. "" disables the tier (evictions
+	// drop, the pre-compression behaviour). Valid names are "auto",
+	// "gorilla", "rle", "lz" and "raw"; New panics on anything else, like
+	// a malformed shard count would elsewhere — a config typo should not
+	// silently disable retention.
+	Codec string
+	// ColdBudget bounds the compressed cold bytes kept per stream; the
+	// oldest blocks are dropped (Stats.EvictedCold) past it. <= 0 selects
+	// DefaultColdBudget. The newest block always survives.
+	ColdBudget int64
+	// BlockSize is the number of deliveries sealed per cold block; <= 0
+	// selects DefaultBlockSize.
+	BlockSize int
 }
 
-// Stats is an aggregate snapshot summed across shards.
+// Stats is an aggregate snapshot summed across shards. The counters obey
+//
+//	RetainedMessages == Appended − Duplicates − DroppedBehind −
+//	    EvictedCount − EvictedBytes − EvictedAge − EvictedCold − Forgotten
+//
+// on every snapshot: each appended delivery is either still retained or
+// accounted to exactly one of the loss reasons. With compression enabled
+// the Evicted{Count,Bytes,Age} counters stay at zero — those evictions
+// seal into the cold tier instead — and EvictedCold takes over as the
+// only capacity-driven loss.
 type Stats struct {
 	Appended      int64 // deliveries handed to Append
+	Duplicates    int64 // re-appends of an already retained sequence (replaced in place)
 	DroppedBehind int64 // arrived below the retained window; address assigned, not stored
 	EvictedCount  int64 // evicted by the count/ring bound
 	EvictedBytes  int64 // evicted by the byte bound
 	EvictedAge    int64 // evicted by the age bound
+	EvictedCold   int64 // dropped from the cold tier by the compressed-bytes budget
 	Forgotten     int64 // dropped by policy (Forget / EvictTo)
 
+	// Cold-tier counters, zero when compression is off.
+	SealedBlocks   int64 // compressed blocks sealed since start
+	SealedMessages int64 // deliveries sealed into those blocks
+
 	// RetainedMessages/RetainedBytes are gauge values: what the store
-	// holds right now, summed across the per-shard gauges.
+	// holds right now — hot ring, seal stage and cold tier — summed
+	// across the per-shard gauges. RetainedBytes counts payload bytes as
+	// appended, regardless of how densely the cold tier stores them.
 	RetainedMessages int64
 	RetainedBytes    int64
 
-	Streams int // streams currently holding at least one delivery
+	// Cold-tier gauges: compressed blocks currently held, the compressed
+	// bytes they occupy, and the raw payload bytes they represent.
+	ColdBlocks   int
+	ColdBytes    int64
+	ColdRawBytes int64
+
+	Codec   string // configured codec name, "" when compression is off
+	Streams int    // streams currently holding at least one delivery
 	Shards  int
 }
 
-// StreamStats describes one stream's retained window.
+// StreamStats describes one stream's retained window across every tier.
 type StreamStats struct {
 	Stream   wire.StreamID
 	FirstSeq uint64 // lowest retained extended sequence (0 when empty)
 	LastSeq  uint64 // highest retained extended sequence (0 when empty)
 	NextWire wire.Seq
-	Count    int
-	Bytes    int64
+	Count    int   // retained deliveries: hot + stage + cold
+	Bytes    int64 // their payload bytes as appended
+
+	// Cold-tier view, zero when compression is off or nothing has been
+	// sealed yet. ColdRawBytes/ColdBytes is the stream's compression
+	// ratio.
+	Codec        string // codec of the newest sealed block
+	ColdBlocks   int
+	ColdMessages int
+	ColdBytes    int64 // compressed bytes held
+	ColdRawBytes int64 // payload bytes those blocks represent
 }
 
 // Store is the Stream Store.
@@ -122,6 +184,12 @@ type Store struct {
 	ringMax  int
 	shards   []*shard
 	shardCnt int
+
+	// Cold-tier configuration; picker is nil when compression is off.
+	picker     codec.Picker
+	codecName  string
+	coldBudget int64
+	blockSize  int
 }
 
 type shard struct {
@@ -136,14 +204,40 @@ type shard struct {
 	// Hot-path counters are plain ints under mu; retained totals are
 	// gauges so dashboards can read them without taking shard locks.
 	appended      int64
+	duplicates    int64
 	droppedBehind int64
 	evictedCount  int64
 	evictedBytes  int64
 	evictedAge    int64
+	evictedCold   int64
 	forgotten     int64
+	sealedBlocks  int64
+	sealedMsgs    int64
 
 	retainedMessages metrics.Gauge
 	retainedBytes    metrics.Gauge
+
+	// freeBufs recycles encoded-block buffers across streams so sealing
+	// allocates nothing at steady state.
+	freeBufs [][]byte
+}
+
+// blockBufLocked pops a recycled block buffer. Caller holds mu.
+func (sh *shard) blockBufLocked() []byte {
+	if n := len(sh.freeBufs); n > 0 {
+		b := sh.freeBufs[n-1]
+		sh.freeBufs[n-1] = nil
+		sh.freeBufs = sh.freeBufs[:n-1]
+		return b
+	}
+	return nil
+}
+
+// recycleBufLocked parks a block buffer for reuse. Caller holds mu.
+func (sh *shard) recycleBufLocked(b []byte) {
+	if b != nil && len(sh.freeBufs) < maxFreeBufs {
+		sh.freeBufs = append(sh.freeBufs, b[:0])
+	}
 }
 
 // ring is one stream's retention state: a power-of-two circular buffer of
@@ -166,9 +260,35 @@ type ring struct {
 	// stream's addresses never move backwards.
 	lastExt  uint64
 	lastWire wire.Seq
+
+	// Cold tier (compression enabled). Entries leave the hot ring oldest
+	// first into stage — a fixed-capacity slice whose spare elements park
+	// recycled payload buffers — and a full stage seals into one
+	// immutable compressed block appended to cold. All sequences in cold
+	// precede all in stage precede all in the hot ring, so reads stitch
+	// the three in order. stage and cold entries are still retained: the
+	// shard gauges do not move when an entry is sealed, only when a block
+	// is dropped.
+	stage      []filtering.Delivery
+	stageBytes int64
+	cold       []coldBlock
+	coldBytes  int64 // compressed bytes across cold
+	coldRaw    int64 // payload bytes those blocks represent
+	coldCount  int   // deliveries across cold
 }
 
-// New creates a Store.
+// coldBlock is one immutable compressed span of sealed deliveries.
+type coldBlock struct {
+	codec    codec.ID
+	firstSeq uint64
+	lastSeq  uint64
+	count    int
+	rawBytes int64 // payload bytes sealed inside
+	data     []byte
+}
+
+// New creates a Store. It panics when Options.Codec names an unknown
+// codec.
 func New(opts Options) *Store {
 	if opts.Shards <= 0 {
 		opts.Shards = DefaultShards
@@ -180,6 +300,22 @@ func New(opts Options) *Store {
 		opts:     opts,
 		ringMax:  ceilPow2(opts.MaxMessages),
 		shardCnt: opts.Shards,
+	}
+	if opts.Codec != "" {
+		picker, err := codec.PickerFor(opts.Codec)
+		if err != nil {
+			panic("store: " + err.Error())
+		}
+		s.picker = picker
+		s.codecName = opts.Codec
+		s.coldBudget = opts.ColdBudget
+		if s.coldBudget <= 0 {
+			s.coldBudget = DefaultColdBudget
+		}
+		s.blockSize = opts.BlockSize
+		if s.blockSize <= 0 {
+			s.blockSize = DefaultBlockSize
+		}
 	}
 	s.shards = make([]*shard, opts.Shards)
 	for i := range s.shards {
@@ -263,7 +399,7 @@ func (s *Store) Append(d filtering.Delivery) uint64 {
 		if span := uint64(len(r.slots)); ext-r.minExt >= span {
 			target := ext - span + 1
 			for r.count > 0 && r.oldestLocked() < target {
-				sh.evictLowestLocked(r, &sh.evictedCount)
+				s.retireLowestLocked(sh, r, &sh.evictedCount)
 			}
 			if r.count > 0 && r.minExt < target {
 				r.minExt = target
@@ -279,7 +415,10 @@ func (s *Store) Append(d filtering.Delivery) uint64 {
 	slot := &r.slots[ext&r.mask]
 	if slot.StoreSeq == ext && r.presentLocked(ext) {
 		// Duplicate append of a retained sequence (the filter screens
-		// these out upstream; be idempotent anyway): replace in place.
+		// these out upstream; be idempotent anyway): replace in place,
+		// and credit Duplicates so Appended − losses still reconciles
+		// with the retained gauge.
+		sh.duplicates++
 		r.bytes -= int64(len(slot.Msg.Payload))
 		sh.retainedBytes.Add(-int64(len(slot.Msg.Payload)))
 		r.count--
@@ -295,12 +434,15 @@ func (s *Store) Append(d filtering.Delivery) uint64 {
 	sh.retainedBytes.Add(int64(len(slot.Msg.Payload)))
 
 	// Retention bounds, oldest-first. The newest entry always survives.
+	// With compression enabled these retirements seal into the cold tier
+	// instead of dropping, so the hot bounds govern only the uncompressed
+	// working set.
 	for r.count > s.opts.MaxMessages {
-		sh.evictLowestLocked(r, &sh.evictedCount)
+		s.retireLowestLocked(sh, r, &sh.evictedCount)
 	}
 	if s.opts.MaxBytes > 0 {
 		for r.bytes > s.opts.MaxBytes && r.count > 1 {
-			sh.evictLowestLocked(r, &sh.evictedBytes)
+			s.retireLowestLocked(sh, r, &sh.evictedBytes)
 		}
 	}
 	if s.opts.MaxAge > 0 {
@@ -310,7 +452,7 @@ func (s *Store) Append(d filtering.Delivery) uint64 {
 			if !old.At.Before(cutoff) {
 				break
 			}
-			sh.evictLowestLocked(r, &sh.evictedAge)
+			s.retireLowestLocked(sh, r, &sh.evictedAge)
 		}
 	}
 	sh.mu.Unlock()
@@ -346,10 +488,22 @@ func (r *ring) oldestLocked() uint64 {
 	return ext
 }
 
-// evictLowestLocked removes the oldest retained entry, crediting the
+// retireLowestLocked removes the oldest entry from the hot ring: with
+// compression off it is evicted outright and credited to *reason; with
+// compression on it is sealed into the cold tier and stays retained, so
+// no eviction counter moves. Caller holds mu.
+func (s *Store) retireLowestLocked(sh *shard, r *ring, reason *int64) {
+	if s.picker == nil {
+		sh.dropLowestLocked(r, reason)
+		return
+	}
+	s.sealLowestLocked(sh, r)
+}
+
+// dropLowestLocked removes the oldest retained hot entry, crediting the
 // eviction to *reason. The slot keeps its payload buffer for reuse; only
 // the occupancy marker and accounting change. Caller holds mu.
-func (sh *shard) evictLowestLocked(r *ring, reason *int64) {
+func (sh *shard) dropLowestLocked(r *ring, reason *int64) {
 	ext := r.oldestLocked()
 	slot := &r.slots[ext&r.mask]
 	r.bytes -= int64(len(slot.Msg.Payload))
@@ -365,11 +519,116 @@ func (sh *shard) evictLowestLocked(r *ring, reason *int64) {
 	}
 }
 
-// evictAllLocked empties the ring, crediting *reason per entry.
-func (sh *shard) evictAllLocked(r *ring, reason *int64) {
-	for r.count > 0 {
-		sh.evictLowestLocked(r, reason)
+// sealLowestLocked moves the oldest hot entry into the seal stage,
+// swapping the slot's payload buffer with the buffer parked in the spare
+// stage element so neither side allocates. A full stage seals into one
+// compressed block. The entry stays retained throughout — the shard
+// gauges do not move. Caller holds mu.
+func (s *Store) sealLowestLocked(sh *shard, r *ring) {
+	if r.stage == nil {
+		r.stage = make([]filtering.Delivery, 0, s.blockSize)
 	}
+	ext := r.oldestLocked()
+	slot := &r.slots[ext&r.mask]
+	n := len(r.stage)
+	r.stage = r.stage[:n+1]
+	st := &r.stage[n]
+	parked := st.Msg.Payload
+	*st = *slot
+	r.stageBytes += int64(len(st.Msg.Payload))
+	r.bytes -= int64(len(slot.Msg.Payload))
+	slot.StoreSeq = 0
+	slot.Msg.Payload = parked[:0]
+	r.count--
+	r.minExt = ext + 1
+	if r.count == 0 {
+		r.minExt, r.maxExt = 0, 0
+	}
+	if len(r.stage) == cap(r.stage) {
+		s.sealStageLocked(sh, r)
+	}
+}
+
+// sealStageLocked encodes the staged entries into one immutable cold
+// block (into a recycled buffer when one is parked) and enforces the
+// per-stream compressed-bytes budget. Caller holds mu.
+func (s *Store) sealStageLocked(sh *shard, r *ring) {
+	if len(r.stage) == 0 {
+		return
+	}
+	c := s.picker(r.stage)
+	data := c.Encode(sh.blockBufLocked(), r.stage)
+	b := coldBlock{
+		codec:    c.ID(),
+		firstSeq: r.stage[0].StoreSeq,
+		lastSeq:  r.stage[len(r.stage)-1].StoreSeq,
+		count:    len(r.stage),
+		rawBytes: r.stageBytes,
+		data:     data,
+	}
+	r.cold = append(r.cold, b)
+	r.coldBytes += int64(len(data))
+	r.coldRaw += b.rawBytes
+	r.coldCount += b.count
+	sh.sealedBlocks++
+	sh.sealedMsgs += int64(b.count)
+	r.stage = r.stage[:0] // spare elements keep their payload buffers
+	r.stageBytes = 0
+	for len(r.cold) > 1 && r.coldBytes > s.coldBudget {
+		sh.dropOldestColdLocked(r, &sh.evictedCold)
+	}
+}
+
+// dropOldestColdLocked drops the oldest cold block, crediting its entries
+// to *reason and recycling its buffer. Caller holds mu.
+func (sh *shard) dropOldestColdLocked(r *ring, reason *int64) {
+	b := &r.cold[0]
+	r.coldBytes -= int64(len(b.data))
+	r.coldRaw -= b.rawBytes
+	r.coldCount -= b.count
+	sh.retainedMessages.Add(-int64(b.count))
+	sh.retainedBytes.Add(-b.rawBytes)
+	*reason += int64(b.count)
+	sh.recycleBufLocked(b.data)
+	n := len(r.cold)
+	copy(r.cold, r.cold[1:])
+	r.cold[n-1] = coldBlock{}
+	r.cold = r.cold[:n-1]
+}
+
+// evictAllLocked empties every tier of the ring, crediting *reason per
+// entry. Caller holds mu.
+func (sh *shard) evictAllLocked(r *ring, reason *int64) {
+	for len(r.cold) > 0 {
+		sh.dropOldestColdLocked(r, reason)
+	}
+	sh.dropStagePrefixLocked(r, len(r.stage), reason)
+	for r.count > 0 {
+		sh.dropLowestLocked(r, reason)
+	}
+}
+
+// dropStagePrefixLocked drops the first k staged entries, crediting
+// *reason per entry. Survivors shift down by swapping, so the dropped
+// elements' payload buffers stay parked in the spare capacity for reuse.
+// Caller holds mu.
+func (sh *shard) dropStagePrefixLocked(r *ring, k int, reason *int64) {
+	if k <= 0 {
+		return
+	}
+	n := len(r.stage)
+	var freed int64
+	for i := 0; i < k; i++ {
+		freed += int64(len(r.stage[i].Msg.Payload))
+	}
+	r.stageBytes -= freed
+	sh.retainedMessages.Add(-int64(k))
+	sh.retainedBytes.Add(-freed)
+	*reason += int64(k)
+	for i := k; i < n; i++ {
+		r.stage[i-k], r.stage[i] = r.stage[i], r.stage[i-k]
+	}
+	r.stage = r.stage[:n-k]
 }
 
 // LastSeq returns the highest extended sequence ever assigned on the
@@ -385,39 +644,111 @@ func (s *Store) LastSeq(id wire.StreamID) (uint64, bool) {
 	return r.lastExt, true
 }
 
-// FirstSeq returns the lowest retained extended sequence; ok is false when
+// FirstSeq returns the lowest retained extended sequence — in the cold
+// tier when blocks are sealed, else the hot window — ok is false when
 // nothing is retained.
 func (s *Store) FirstSeq(id wire.StreamID) (uint64, bool) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	r, ok := sh.streams[id]
-	if !ok || r.count == 0 {
+	if !ok {
 		return 0, false
 	}
-	return r.oldestLocked(), true
+	switch {
+	case len(r.cold) > 0:
+		return r.cold[0].firstSeq, true
+	case len(r.stage) > 0:
+		return r.stage[0].StoreSeq, true
+	case r.count > 0:
+		return r.oldestLocked(), true
+	}
+	return 0, false
 }
 
 // OldestSince returns the extended sequence and payload size of the first
-// retained entry at or after from.
+// retained entry at or after from, in any tier.
 func (s *Store) OldestSince(id wire.StreamID, from uint64) (seq uint64, size int, ok bool) {
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	r, rok := sh.streams[id]
-	if !rok || r.count == 0 {
-		return 0, 0, false
+	s.RangeFunc(id, from, ^uint64(0), func(d filtering.Delivery) bool {
+		seq, size, ok = d.StoreSeq, len(d.Msg.Payload), true
+		return false
+	})
+	return seq, size, ok
+}
+
+// decodeScratch is the pooled working memory for lazily decompressing one
+// cold block on the read path.
+type decodeScratch struct {
+	sc      codec.Scratch
+	entries []filtering.Delivery
+}
+
+var decodePool = sync.Pool{New: func() any { return new(decodeScratch) }}
+
+// visitColdLocked decodes one cold block and visits its entries within
+// [from, to], returning false when fn stopped the walk. Decoded
+// deliveries borrow pooled scratch memory, valid only during fn — the
+// same borrow contract RangeFunc already imposes. A block that fails to
+// decode (which would take memory corruption — the store sealed it) is
+// skipped rather than taking the read path down. Caller holds mu.
+func visitColdLocked(b *coldBlock, id wire.StreamID, from, to uint64, fn func(d filtering.Delivery) bool) bool {
+	c, ok := codec.ByID(b.codec)
+	if !ok {
+		return true
 	}
-	ext := r.oldestLocked()
-	if ext < from {
-		ext = from
-	}
-	for ; ext <= r.maxExt; ext++ {
-		if r.presentLocked(ext) {
-			return ext, len(r.slots[ext&r.mask].Msg.Payload), true
+	ds := decodePool.Get().(*decodeScratch)
+	entries, err := c.Decode(ds.entries[:0], id, b.data, &ds.sc)
+	ds.entries = entries
+	cont := true
+	if err == nil {
+		for i := range entries {
+			if entries[i].StoreSeq < from {
+				continue
+			}
+			if entries[i].StoreSeq > to {
+				break
+			}
+			if !fn(entries[i]) {
+				cont = false
+				break
+			}
 		}
 	}
-	return 0, 0, false
+	decodePool.Put(ds)
+	return cont
+}
+
+// visitWarmLocked visits the stage and hot-ring entries within [from, to]
+// ascending, returning false when fn stopped the walk. Caller holds mu.
+func (r *ring) visitWarmLocked(from, to uint64, fn func(d filtering.Delivery) bool) bool {
+	for i := range r.stage {
+		seq := r.stage[i].StoreSeq
+		if seq < from {
+			continue
+		}
+		if seq > to {
+			return true
+		}
+		if !fn(r.stage[i]) {
+			return false
+		}
+	}
+	if r.count == 0 {
+		return true
+	}
+	lo, hi := from, to
+	if low := r.oldestLocked(); lo < low {
+		lo = low
+	}
+	if hi > r.maxExt {
+		hi = r.maxExt
+	}
+	for ext := lo; ext <= hi; ext++ {
+		if r.presentLocked(ext) && !fn(r.slots[ext&r.mask]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Range returns copies of the retained deliveries with extended sequences
@@ -439,43 +770,71 @@ func (s *Store) AppendRange(dst []filtering.Delivery, id wire.StreamID, from, to
 }
 
 // RangeFunc visits retained deliveries with extended sequences in
-// [from, to] ascending, stopping early when fn returns false. The visited
-// deliveries borrow store memory: they are valid only during the fn call,
-// which runs under the stream's shard lock — fn must not call back into
-// the Store and must copy anything it keeps.
+// [from, to] ascending, stopping early when fn returns false. Cold
+// compressed blocks are stitched in transparently, decompressed lazily
+// into pooled scratch one block at a time. The visited deliveries borrow
+// store memory: they are valid only during the fn call, which runs under
+// the stream's shard lock — fn must not call back into the Store and
+// must copy anything it keeps.
 func (s *Store) RangeFunc(id wire.StreamID, from, to uint64, fn func(d filtering.Delivery) bool) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	r, ok := sh.streams[id]
-	if !ok || r.count == 0 {
+	if !ok {
 		return
 	}
-	lo, hi := from, to
-	if low := r.oldestLocked(); lo < low {
-		lo = low
-	}
-	if hi > r.maxExt {
-		hi = r.maxExt
-	}
-	for ext := lo; ext <= hi; ext++ {
-		if r.presentLocked(ext) && !fn(r.slots[ext&r.mask]) {
+	for bi := range r.cold {
+		b := &r.cold[bi]
+		if b.lastSeq < from {
+			continue
+		}
+		if b.firstSeq > to {
+			return
+		}
+		if !visitColdLocked(b, id, from, to, fn) {
 			return
 		}
 	}
+	r.visitWarmLocked(from, to, fn)
 }
 
 // WindowStats returns the number of retained deliveries and their total
 // payload bytes with extended sequences in [from, to] — what a replay of
 // that window would materialise. Policy views (the Orphanage) report
 // their backlog from this truth so byte/age eviction inside a window can
-// never make the view overstate what a claim will return.
+// never make the view overstate what a claim will return. Cold blocks
+// wholly inside the window are summed from their headers without
+// decompressing; only the boundary blocks decode.
 func (s *Store) WindowStats(id wire.StreamID, from, to uint64) (count int, bytes int64) {
-	s.RangeFunc(id, from, to, func(d filtering.Delivery) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.streams[id]
+	if !ok {
+		return 0, 0
+	}
+	acc := func(d filtering.Delivery) bool {
 		count++
 		bytes += int64(len(d.Msg.Payload))
 		return true
-	})
+	}
+	for bi := range r.cold {
+		b := &r.cold[bi]
+		if b.lastSeq < from {
+			continue
+		}
+		if b.firstSeq > to {
+			return count, bytes
+		}
+		if b.firstSeq >= from && b.lastSeq <= to {
+			count += b.count
+			bytes += b.rawBytes
+			continue
+		}
+		visitColdLocked(b, id, from, to, acc)
+	}
+	r.visitWarmLocked(from, to, acc)
 	return count, bytes
 }
 
@@ -530,7 +889,10 @@ func (s *Store) Snapshot(pred func(wire.StreamID) bool) []filtering.Delivery {
 
 // EvictTo drops retained deliveries with extended sequences below upto,
 // returning how many were dropped (credited to Stats.Forgotten). Policy
-// layers — the Orphanage advancing its backlog window — call this.
+// layers — the Orphanage advancing its backlog window — call this. Cold
+// blocks wholly below upto are dropped by header; a block straddling the
+// boundary is split: its survivors are re-encoded into a fresh block so
+// the tier stays immutable and exactly accounted.
 func (s *Store) EvictTo(id wire.StreamID, upto uint64) int {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
@@ -539,18 +901,76 @@ func (s *Store) EvictTo(id wire.StreamID, upto uint64) int {
 	if !ok {
 		return 0
 	}
-	n := 0
-	for r.count > 0 && r.oldestLocked() < upto {
-		sh.evictLowestLocked(r, &sh.forgotten)
-		n++
+	before := sh.forgotten
+	for len(r.cold) > 0 && r.cold[0].lastSeq < upto {
+		sh.dropOldestColdLocked(r, &sh.forgotten)
 	}
-	return n
+	if len(r.cold) > 0 && r.cold[0].firstSeq < upto {
+		s.splitColdBlockLocked(sh, r, upto)
+	}
+	k := 0
+	for k < len(r.stage) && r.stage[k].StoreSeq < upto {
+		k++
+	}
+	sh.dropStagePrefixLocked(r, k, &sh.forgotten)
+	for r.count > 0 && r.oldestLocked() < upto {
+		sh.dropLowestLocked(r, &sh.forgotten)
+	}
+	return int(sh.forgotten - before)
 }
 
-// Forget drops every retained delivery on the stream (credited to
-// Stats.Forgotten) while keeping its sequence-unwrap state, so addresses
-// never move backwards if the stream resumes. The Orphanage calls this
-// when it evicts an unclaimed stream.
+// splitColdBlockLocked rewrites the oldest cold block to keep only the
+// entries at or above upto: decode, re-encode the survivors (the encoder
+// reads from decode scratch, so it can write straight into the old
+// buffer), credit the dropped prefix to Forgotten. Caller holds mu.
+func (s *Store) splitColdBlockLocked(sh *shard, r *ring, upto uint64) {
+	b := &r.cold[0]
+	c, ok := codec.ByID(b.codec)
+	if !ok {
+		return
+	}
+	ds := decodePool.Get().(*decodeScratch)
+	entries, err := c.Decode(ds.entries[:0], 0, b.data, &ds.sc)
+	ds.entries = entries
+	if err != nil {
+		decodePool.Put(ds)
+		return
+	}
+	keep := 0
+	for keep < len(entries) && entries[keep].StoreSeq < upto {
+		keep++
+	}
+	survivors := entries[keep:]
+	dropped := keep
+	var droppedRaw int64
+	for i := 0; i < keep; i++ {
+		droppedRaw += int64(len(entries[i].Msg.Payload))
+	}
+	if len(survivors) == 0 {
+		decodePool.Put(ds)
+		sh.dropOldestColdLocked(r, &sh.forgotten)
+		return
+	}
+	oldLen := int64(len(b.data))
+	nc := s.picker(survivors)
+	b.data = nc.Encode(b.data[:0], survivors)
+	b.codec = nc.ID()
+	b.firstSeq = survivors[0].StoreSeq
+	b.count = len(survivors)
+	b.rawBytes -= droppedRaw
+	r.coldBytes += int64(len(b.data)) - oldLen
+	r.coldRaw -= droppedRaw
+	r.coldCount -= dropped
+	sh.retainedMessages.Add(-int64(dropped))
+	sh.retainedBytes.Add(-droppedRaw)
+	sh.forgotten += int64(dropped)
+	decodePool.Put(ds)
+}
+
+// Forget drops every retained delivery on the stream — all three tiers,
+// credited to Stats.Forgotten — while keeping its sequence-unwrap state,
+// so addresses never move backwards if the stream resumes. The Orphanage
+// calls this when it evicts an unclaimed stream.
 func (s *Store) Forget(id wire.StreamID) int {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
@@ -559,7 +979,7 @@ func (s *Store) Forget(id wire.StreamID) int {
 	if !ok {
 		return 0
 	}
-	n := r.count
+	n := r.count + len(r.stage) + r.coldCount
 	sh.evictAllLocked(r, &sh.forgotten)
 	return n
 }
@@ -592,36 +1012,64 @@ func (s *Store) StreamStats(id wire.StreamID) (StreamStats, bool) {
 		return StreamStats{}, false
 	}
 	st := StreamStats{
-		Stream:   id,
-		NextWire: r.lastWire + 1,
-		Count:    r.count,
-		Bytes:    r.bytes,
+		Stream:       id,
+		NextWire:     r.lastWire + 1,
+		Count:        r.count + len(r.stage) + r.coldCount,
+		Bytes:        r.bytes + r.stageBytes + r.coldRaw,
+		ColdBlocks:   len(r.cold),
+		ColdMessages: r.coldCount,
+		ColdBytes:    r.coldBytes,
+		ColdRawBytes: r.coldRaw,
+	}
+	if n := len(r.cold); n > 0 {
+		if c, ok := codec.ByID(r.cold[n-1].codec); ok {
+			st.Codec = c.Name()
+		}
 	}
 	if r.count > 0 {
-		st.FirstSeq, st.LastSeq = r.oldestLocked(), r.maxExt
+		st.LastSeq = r.maxExt
+		switch {
+		case len(r.cold) > 0:
+			st.FirstSeq = r.cold[0].firstSeq
+		case len(r.stage) > 0:
+			st.FirstSeq = r.stage[0].StoreSeq
+		default:
+			st.FirstSeq = r.oldestLocked()
+		}
 	}
 	return st, true
 }
 
-// Stats returns an aggregate snapshot summed across shards.
+// Stats returns an aggregate snapshot summed across shards. Counters and
+// gauges for one shard are read under its lock together, so a snapshot
+// taken while appenders run still satisfies the Stats invariant — gauges
+// read after the lock drops could have moved past the counters they must
+// reconcile with.
 func (s *Store) Stats() Stats {
-	st := Stats{Shards: s.shardCnt}
+	st := Stats{Shards: s.shardCnt, Codec: s.codecName}
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		st.Appended += sh.appended
+		st.Duplicates += sh.duplicates
 		st.DroppedBehind += sh.droppedBehind
 		st.EvictedCount += sh.evictedCount
 		st.EvictedBytes += sh.evictedBytes
 		st.EvictedAge += sh.evictedAge
+		st.EvictedCold += sh.evictedCold
 		st.Forgotten += sh.forgotten
+		st.SealedBlocks += sh.sealedBlocks
+		st.SealedMessages += sh.sealedMsgs
 		for _, r := range sh.streams {
 			if r.count > 0 {
 				st.Streams++
 			}
+			st.ColdBlocks += len(r.cold)
+			st.ColdBytes += r.coldBytes
+			st.ColdRawBytes += r.coldRaw
 		}
-		sh.mu.Unlock()
 		st.RetainedMessages += sh.retainedMessages.Value()
 		st.RetainedBytes += sh.retainedBytes.Value()
+		sh.mu.Unlock()
 	}
 	return st
 }

@@ -249,3 +249,69 @@ func TestSubscribeWithBacklogFailurePreservesBacklog(t *testing.T) {
 		t.Fatalf("retry replayed %d err %v, want 5", replayed, err)
 	}
 }
+
+// TestStoreCompressionOption pins WithStoreCompression end to end: with
+// the cold tier on, deliveries the age bound would have dropped are
+// sealed into compressed blocks instead, and Replay and
+// SubscribeWithReplay recover the full history transparently — the
+// retention bounds become a working-set knob, not a history limit.
+func TestStoreCompressionOption(t *testing.T) {
+	g, clock := newTestDeployment(t,
+		garnet.WithStoreRetention(0, 0, 3*time.Second),
+		garnet.WithStoreCompression("auto", 1<<20))
+	addThermometer(t, g, 4)
+	tok, err := g.Register("app", garnet.PermSubscribe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	clock.Advance(200 * time.Second)
+
+	backlog, err := g.Replay(tok, garnet.MustStreamID(4, 0), 0, ^uint64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without compression the 3 s age bound keeps 4 (see
+	// TestStoreRetentionOption); with it, everything is still there.
+	if len(backlog) != 200 {
+		t.Fatalf("compressed store replayed %d, want all 200", len(backlog))
+	}
+	for i, d := range backlog {
+		if d.Msg.Seq != garnet.Seq(i) {
+			t.Fatalf("entry %d has seq %d (cold → hot stitching broke order)", i, d.Msg.Seq)
+		}
+	}
+
+	st := g.Stats().Store
+	if st.Codec != "auto" || st.SealedBlocks == 0 || st.ColdBytes == 0 {
+		t.Fatalf("cold tier never engaged: %+v", st)
+	}
+	if st.EvictedAge != 0 || st.RetainedMessages != 200 {
+		t.Fatalf("sealing lost history: %+v", st)
+	}
+	if st.ColdRawBytes <= st.ColdBytes {
+		t.Fatalf("constant series did not compress: %d raw vs %d cold B", st.ColdRawBytes, st.ColdBytes)
+	}
+
+	// A late joiner catches up through the cold tier and rides live.
+	late := garnet.NewRecorder("late", 256)
+	_, replayed, err := g.SubscribeWithReplay(tok, garnet.MustStreamID(4, 0), 0, late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 200 {
+		t.Fatalf("SubscribeWithReplay caught up %d, want 200", replayed)
+	}
+}
+
+// TestStoreCompressionBadCodecPanics pins the option contract: a typo in
+// the codec name must fail loudly at construction, not silently disable
+// retention history.
+func TestStoreCompressionBadCodecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown codec name did not panic")
+		}
+	}()
+	garnet.New(garnet.WithSecret([]byte("x")), garnet.WithStoreCompression("zstd", 0))
+}
