@@ -535,6 +535,11 @@ func BenchmarkX1MultiHopRelaying(b *testing.B) { benchExperiment(b, "X1") }
 // keep writing).
 func BenchmarkE17LateJoinerStorm(b *testing.B) { benchExperiment(b, "E17") }
 
+// BenchmarkE18AsyncFanoutStorm regenerates the async fan-out storm table
+// (M publishers × N lock-free delivery rings with mid-run late joiners,
+// swept across GOMAXPROCS).
+func BenchmarkE18AsyncFanoutStorm(b *testing.B) { benchExperiment(b, "E18") }
+
 // BenchmarkE16DemandStorm regenerates the control-plane demand-storm
 // table (concurrent consumers churning demands plus live data traffic).
 func BenchmarkE16DemandStorm(b *testing.B) { benchExperiment(b, "E16") }

@@ -7,6 +7,7 @@
 //	garnet-bench -experiment E5   # run one experiment
 //	garnet-bench -quick           # reduced sweeps (smoke run)
 //	garnet-bench -seed 7          # change the deterministic seed
+//	garnet-bench -perf            # multicore perf sweep → BENCH_*.json
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"github.com/garnet-middleware/garnet/internal/experiments"
+	"github.com/garnet-middleware/garnet/internal/perfharness"
 )
 
 func main() {
@@ -27,11 +29,30 @@ func main() {
 
 func run() error {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (F1, F2, C1, E1..E16, X1) or \"all\"")
-		seed       = flag.Uint64("seed", 42, "deterministic seed")
-		quick      = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
+		experiment = flag.String("experiment", "all",
+			"experiment id ("+experiments.FlagUsage()+") or \"all\"")
+		seed  = flag.Uint64("seed", 42, "deterministic seed")
+		quick = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
+		perf  = flag.Bool("perf", false,
+			"run the multicore perf sweep and emit BENCH_dispatch.json / BENCH_pipeline.json instead of experiment tables")
+		outDir = flag.String("out", ".", "output directory for -perf BENCH_*.json files")
 	)
 	flag.Parse()
+
+	if *perf {
+		dp, pp, err := perfharness.WriteReports(perfharness.Options{
+			Quick:  *quick,
+			OutDir: *outDir,
+			Log: func(format string, a ...any) {
+				fmt.Fprintf(os.Stdout, format+"\n", a...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stdout, "wrote %s\nwrote %s\n", dp, pp)
+		return nil
+	}
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick}
 	if *experiment != "all" {

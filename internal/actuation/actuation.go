@@ -208,13 +208,17 @@ func NewService(clock sim.Clock, send func(wire.ControlMessage), opts Options) *
 	if _, virtual := clock.(*sim.VirtualClock); virtual {
 		s.sched, _ = clock.(sim.Scheduler)
 	}
+	// One contiguous padded backing array: a multiple-of-64 allocation is
+	// 64-aligned by the Go size classes, so every shard starts on a cache
+	// line boundary.
+	backing := make([]paddedAShard, opts.Shards)
 	for i := range s.shards {
-		s.shards[i] = &ashard{
-			base:        uint16(i) << s.idBits,
-			mask:        uint16(1<<s.idBits - 1),
-			outstanding: make(map[uint16]*pending),
-			coal:        make(map[coalKey]*coalEntry),
-		}
+		sh := &backing[i].ashard
+		sh.base = uint16(i) << s.idBits
+		sh.mask = uint16(1<<s.idBits - 1)
+		sh.outstanding = make(map[uint16]*pending)
+		sh.coal = make(map[coalKey]*coalEntry)
+		s.shards[i] = sh
 	}
 	return s
 }

@@ -1,0 +1,31 @@
+package actuation
+
+import (
+	"testing"
+	"unsafe"
+
+	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/sim"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// TestShardPadding pins the anti-false-sharing layout of the
+// outstanding-request shard table; see the dispatch package's test of
+// the same name.
+func TestShardPadding(t *testing.T) {
+	sz, live := unsafe.Sizeof(paddedAShard{}), unsafe.Sizeof(ashard{})
+	if sz%metrics.CacheLine != 0 {
+		t.Fatalf("paddedAShard size %d is not a multiple of %d", sz, metrics.CacheLine)
+	}
+	if sz-live < 8 {
+		t.Fatalf("tail padding %d < 8: a shifted array base could share a boundary line", sz-live)
+	}
+	s := NewService(sim.NewVirtualClock(epoch), func(wire.ControlMessage) {}, Options{Shards: 4})
+	addrs := make([]uintptr, len(s.shards))
+	for i, sh := range s.shards {
+		addrs[i] = uintptr(unsafe.Pointer(sh))
+	}
+	if msg := metrics.VerifyPadding(addrs, live); msg != "" {
+		t.Fatal(msg)
+	}
+}

@@ -3,6 +3,7 @@ package actuation
 import (
 	"sync"
 	"time"
+	"unsafe"
 
 	"github.com/garnet-middleware/garnet/internal/metrics"
 	"github.com/garnet-middleware/garnet/internal/resource"
@@ -45,6 +46,17 @@ type ashard struct {
 	// latency records this shard's request→ack latencies, so an ack never
 	// crosses into another shard's state; Service.Latency merges on read.
 	latency metrics.Histogram
+}
+
+// paddedAShard rounds an ashard up to whole cache lines, keeping at
+// least 8 bytes of trailing padding, so live fields of adjacent shards
+// in the contiguous backing array never share a line even when the
+// runtime's 8-byte allocation header shifts the array base off line
+// alignment (see the dispatch package's paddedShard for the full
+// rationale).
+type paddedAShard struct {
+	ashard
+	_ [(unsafe.Sizeof(ashard{})+metrics.CacheLine+7)/metrics.CacheLine*metrics.CacheLine - unsafe.Sizeof(ashard{})]byte
 }
 
 type pending struct {

@@ -28,7 +28,13 @@
 // mode gives every consumer a bounded queue drained by a dedicated,
 // lifecycle-managed goroutine, with an explicit overflow policy
 // (drop-oldest by default) so one slow consumer can never stall the
-// pipeline or another consumer. The drainer coalesces up to
+// pipeline or another consumer. The steady-state async queue is a
+// lock-free ring (internal/ring): publishing shards enqueue with a
+// CAS-claimed slot and wake a parked drainer through a two-state atomic,
+// so concurrent publishers to one consumer never serialise on a queue
+// mutex; during a catch-up gate or while replay floors are active the
+// port transparently falls back to a mutex-guarded queue with identical
+// semantics (see port). The drainer coalesces up to
 // Options.BatchSize pending deliveries per wakeup and hands them to the
 // consumer in one ConsumeBatch call when the consumer implements
 // BatchConsumer, or replays them through Consume one by one otherwise;
@@ -188,6 +194,12 @@ type Options struct {
 	// BatchSize caps deliveries coalesced per async drain wakeup; <= 0
 	// selects DefaultBatchSize. 1 restores delivery-at-a-time draining.
 	BatchSize int
+	// ForceLockedQueue makes async ports use the mutex-guarded queue for
+	// every delivery instead of the lock-free ring fast path. The two are
+	// behaviourally identical (pinned by the differential property test);
+	// this knob exists so benchmarks and tests can compare them and is
+	// not useful in production.
+	ForceLockedQueue bool
 }
 
 // StreamInfo is one advertised stream, for discovery.
@@ -322,6 +334,7 @@ func (d *Dispatcher) portForLocked(c Consumer) *port {
 	p, ok := d.ports[c]
 	if !ok {
 		p = newPort(c, d.opts.QueueCapacity, d.opts.BatchSize, d.opts.Overflow,
+			d.opts.Mode == ModeAsync && !d.opts.ForceLockedQueue,
 			&d.dropped, d.droppedBy.With(c.Name()))
 		d.ports[c] = p
 		if d.opts.Mode == ModeAsync && d.started {

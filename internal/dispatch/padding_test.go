@@ -1,0 +1,31 @@
+package dispatch
+
+import (
+	"testing"
+	"unsafe"
+
+	"github.com/garnet-middleware/garnet/internal/metrics"
+)
+
+// TestShardPadding pins the anti-false-sharing layout: padded shards
+// occupy whole cache lines with at least 8 bytes of tail slack (so the
+// runtime's allocation header cannot make neighbours' live fields share
+// a line), and in the live backing array no two shards' live bytes
+// touch one line.
+func TestShardPadding(t *testing.T) {
+	sz, live := unsafe.Sizeof(paddedShard{}), unsafe.Sizeof(shard{})
+	if sz%metrics.CacheLine != 0 {
+		t.Fatalf("paddedShard size %d is not a multiple of %d", sz, metrics.CacheLine)
+	}
+	if sz-live < 8 {
+		t.Fatalf("tail padding %d < 8: a shifted array base could share a boundary line", sz-live)
+	}
+	shards := newShards(4)
+	addrs := make([]uintptr, len(shards))
+	for i, sh := range shards {
+		addrs[i] = uintptr(unsafe.Pointer(sh))
+	}
+	if msg := metrics.VerifyPadding(addrs, live); msg != "" {
+		t.Fatal(msg)
+	}
+}

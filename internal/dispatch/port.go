@@ -1,11 +1,13 @@
 package dispatch
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"github.com/garnet-middleware/garnet/internal/filtering"
 	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/ring"
 	"github.com/garnet-middleware/garnet/internal/wire"
 )
 
@@ -14,6 +16,33 @@ var portSeq atomic.Uint64
 // port is one consumer's delivery endpoint: in async mode a bounded FIFO
 // drained by a dedicated worker goroutine; in sync mode just the consumer
 // reference (the queue fields stay unused).
+//
+// # Async fast path
+//
+// The steady-state async queue is a lock-free MPSC ring: publishing
+// shards CAS-claim a slot and publish it with a sequence stamp, and the
+// single drainer batch-consumes without taking any lock. Waking a parked
+// drainer is a two-state atomic plus a buffered-channel token
+// (ring.Waiter) — one atomic load per enqueue while the drainer runs —
+// instead of a sync.Cond signal (an internal lock acquisition) per
+// enqueue.
+//
+// # Locked fallback
+//
+// The catch-up machinery (SubscribeWithReplay's gate, the per-stream
+// replay floors) and port shutdown need enqueue-time decisions that read
+// mutable per-port state, so while any of them is active the port falls
+// back to the retained mutex-guarded queue: enterFallback flips the mode
+// atomically and waits out in-flight ring enqueues, after which every
+// producer observes fallback and goes through mu. Once a port has gated
+// it stays on the locked path: a non-empty replay leaves floors, which
+// live for the port's lifetime, and the catch-up cases are rare,
+// consumer-initiated transitions where the ring's per-message win is
+// noise. The drainer consumes the ring before the locked queue; because
+// queue entries are only produced after enterFallback's barrier, every
+// ring entry predates every queue entry and FIFO order is preserved
+// across the handoff (pinned by TestRingMutexPortEquivalenceProperty and
+// the gate↔ring stress tests).
 //
 // The drainer coalesces up to batchSize queued deliveries per wakeup.
 // Consumers implementing BatchConsumer receive the whole batch in one
@@ -25,9 +54,17 @@ type port struct {
 	batcher  BatchConsumer // non-nil when consumer supports batches
 	refs     int           // live subscriptions; guarded by Dispatcher.mu
 
+	// Lock-free delivery ring (async mode without ForceLockedQueue; nil
+	// otherwise). fallback routes producers to the locked path below;
+	// inflight counts producers inside a ring enqueue so enterFallback
+	// can wait them out. waiter parks/wakes the drainer for both paths.
+	ring     *ring.Ring[filtering.Delivery]
+	fallback atomic.Bool
+	inflight atomic.Int64
+	waiter   *ring.Waiter
+
 	mu        sync.Mutex
-	cond      *sync.Cond
-	queue     []filtering.Delivery // ring buffer
+	queue     []filtering.Delivery // locked-path ring buffer, lazily sized
 	head      int
 	count     int
 	capacity  int
@@ -58,22 +95,24 @@ type port struct {
 	selfDrop *metrics.Counter // this consumer's overflow discards
 }
 
-func newPort(c Consumer, capacity, batchSize int, overflow OverflowPolicy, dropped, selfDrop *metrics.Counter) *port {
+func newPort(c Consumer, capacity, batchSize int, overflow OverflowPolicy, lockFree bool, dropped, selfDrop *metrics.Counter) *port {
 	if batchSize > capacity {
 		batchSize = capacity
 	}
 	p := &port{
 		seq:       portSeq.Add(1),
 		consumer:  c,
-		queue:     make([]filtering.Delivery, capacity),
 		capacity:  capacity,
 		batchSize: batchSize,
 		overflow:  overflow,
+		waiter:    ring.NewWaiter(),
 		dropped:   dropped,
 		selfDrop:  selfDrop,
 	}
+	if lockFree {
+		p.ring = ring.New[filtering.Delivery](capacity)
+	}
 	p.batcher, _ = c.(BatchConsumer)
-	p.cond = sync.NewCond(&p.mu)
 	return p
 }
 
@@ -188,12 +227,46 @@ func (p *port) raiseFloorLocked(stream wire.StreamID, batch []filtering.Delivery
 	p.hasFloors.Store(true)
 }
 
+// enterFallback routes all subsequent producers to the locked path and
+// waits out producers already inside a ring enqueue. On return, every
+// new enqueue observes the gate/floor/closed state under mu, and the
+// only deliveries still reaching the consumer via the ring predate the
+// barrier — the drainer consumes them before anything the caller
+// enqueues under mu afterwards. The wait is bounded: a ring enqueue is a
+// handful of atomic operations with no locks or callbacks inside.
+func (p *port) enterFallback() {
+	if p.ring == nil {
+		return
+	}
+	p.fallback.Store(true)
+	for p.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
+}
+
 // enqueue adds a delivery, applying the overflow policy when full. It
 // reports whether the new delivery was admitted; deliveries diverted to
 // the catch-up gate report false and are accounted when the gate flushes,
 // and deliveries below a replay floor are silently suppressed as
 // duplicates of already-replayed history.
+//
+// Steady state takes the lock-free ring: one fallback load, a CAS-claimed
+// slot, a publication store and a parked-check on the waiter — no mutex,
+// no cond. Gated/floored/closing ports (fallback set, with the inflight
+// barrier making the flip safe) take the retained locked path, whose
+// behaviour is unchanged.
 func (p *port) enqueue(d filtering.Delivery) bool {
+	if p.ring != nil && !p.fallback.Load() {
+		p.inflight.Add(1)
+		if !p.fallback.Load() {
+			admitted := p.enqueueRing(d)
+			p.inflight.Add(-1)
+			return admitted
+		}
+		// enterFallback won the race: this producer is counted in
+		// inflight but must not touch the ring anymore.
+		p.inflight.Add(-1)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.gateCount > 0 {
@@ -206,6 +279,41 @@ func (p *port) enqueue(d filtering.Delivery) bool {
 	return p.enqueueLocked(d)
 }
 
+// enqueueRing is the lock-free admission path. Gate, floor and closed
+// checks are not needed here: any of those conditions sets fallback
+// (with the barrier) before becoming observable, so a producer that got
+// this far predates them all.
+func (p *port) enqueueRing(d filtering.Delivery) bool {
+	if p.overflow == DropNewest {
+		if !p.ring.TryEnqueue(d) {
+			p.dropped.Inc()
+			p.selfDrop.Inc()
+			return false
+		}
+	} else {
+		// DropOldest: discard from the head until the new delivery fits.
+		// The producer performs the dequeue itself (the ring supports
+		// concurrent dequeuers), keeping the policy lock-free.
+		for !p.ring.TryEnqueue(d) {
+			if _, ok := p.ring.TryDequeue(); ok {
+				p.dropped.Inc()
+				p.selfDrop.Inc()
+			}
+		}
+	}
+	p.waiter.Wake()
+	return true
+}
+
+// queueBufLocked sizes the locked-path buffer on first use: ring-mode
+// ports only need it after a catch-up gate, and sync-mode ports never
+// do. Caller holds mu.
+func (p *port) queueBufLocked() {
+	if len(p.queue) == 0 {
+		p.queue = make([]filtering.Delivery, p.capacity)
+	}
+}
+
 // enqueueLocked is enqueue past the gate and floor checks. Caller holds
 // mu. The queue's physical ring can be larger than the capacity bound
 // after a catch-up burst (see enqueueGrowLocked); the overflow policy
@@ -216,6 +324,7 @@ func (p *port) enqueueLocked(d filtering.Delivery) bool {
 		p.selfDrop.Inc()
 		return false
 	}
+	p.queueBufLocked()
 	if p.count >= p.capacity {
 		p.dropped.Inc()
 		p.selfDrop.Inc()
@@ -228,7 +337,7 @@ func (p *port) enqueueLocked(d filtering.Delivery) bool {
 	}
 	p.queue[(p.head+p.count)%len(p.queue)] = d
 	p.count++
-	p.cond.Signal()
+	p.waiter.Wake()
 	return true
 }
 
@@ -243,6 +352,7 @@ func (p *port) enqueueGrowLocked(d filtering.Delivery) bool {
 		p.selfDrop.Inc()
 		return false
 	}
+	p.queueBufLocked()
 	if p.count == len(p.queue) {
 		grown := make([]filtering.Delivery, 2*len(p.queue))
 		for i := 0; i < p.count; i++ {
@@ -253,7 +363,7 @@ func (p *port) enqueueGrowLocked(d filtering.Delivery) bool {
 	}
 	p.queue[(p.head+p.count)%len(p.queue)] = d
 	p.count++
-	p.cond.Signal()
+	p.waiter.Wake()
 	return true
 }
 
@@ -273,8 +383,13 @@ func (p *port) tryHold(d filtering.Delivery) bool {
 
 // beginGate opens the catch-up gate. Called under Dispatcher.mu before
 // the subscription becomes visible to Dispatch, so no live delivery for
-// it can reach the consumer ahead of the replay batch.
+// it can reach the consumer ahead of the replay batch. On ring-mode
+// ports it first forces the locked path, so every delivery from here on
+// makes its gate/floor decision under mu; deliveries already in the ring
+// predate the gate and drain ahead of the replay batch, exactly like
+// pre-gate entries of the locked queue.
 func (p *port) beginGate() {
+	p.enterFallback()
 	p.mu.Lock()
 	p.gateCount++
 	p.gated.Store(true)
@@ -398,46 +513,85 @@ func (p *port) dropClosedGateLocked(nReplay int) {
 	p.gated.Store(false)
 }
 
-// run drains the queue until the port is closed and empty, taking up to
-// batchSize deliveries per wakeup. The batch buffer is reused between
-// wakeups; BatchConsumer implementations must not retain it.
-func (p *port) run() {
-	batch := make([]filtering.Delivery, 0, p.batchSize)
-	for {
-		p.mu.Lock()
-		for p.count == 0 && !p.closed {
-			p.cond.Wait()
-		}
-		if p.count == 0 && p.closed {
-			p.mu.Unlock()
-			return
-		}
-		n := p.count
-		if n > p.batchSize {
-			n = p.batchSize
-		}
-		batch = batch[:0]
-		for i := 0; i < n; i++ {
-			batch = append(batch, p.queue[p.head])
-			p.queue[p.head] = filtering.Delivery{} // release payload reference
-			p.head = (p.head + 1) % len(p.queue)
-		}
-		p.count -= n
-		p.mu.Unlock()
+// takeLockedBatch moves up to len(batch) deliveries from the locked
+// queue into batch and reports how many it took plus whether the port is
+// closed with the queue drained.
+func (p *port) takeLockedBatch(batch []filtering.Delivery) (n int, done bool) {
+	p.mu.Lock()
+	for n < len(batch) && p.count > 0 {
+		batch[n] = p.queue[p.head]
+		p.queue[p.head] = filtering.Delivery{} // release payload reference
+		p.head = (p.head + 1) % len(p.queue)
+		p.count--
+		n++
+	}
+	done = p.closed && p.count == 0
+	p.mu.Unlock()
+	return n, done
+}
 
+// hasWork reports whether the drainer has anything to do (or must exit),
+// re-checked between Waiter.Prepare and Waiter.Wait so a wakeup racing
+// the park is never lost.
+func (p *port) hasWork() bool {
+	if p.ring != nil && !p.ring.Empty() {
+		return true
+	}
+	p.mu.Lock()
+	has := p.count > 0 || p.closed
+	p.mu.Unlock()
+	return has
+}
+
+// run drains the port until it is closed and empty, taking up to
+// batchSize deliveries per wakeup — from the lock-free ring first, then
+// from the locked queue. Every queue entry is produced after
+// enterFallback's barrier, i.e. after every ring entry, so ring-first
+// consumption preserves FIFO across the locked↔lock-free handoff; at
+// steady state exactly one of the two holds data and the other costs one
+// atomic load (ring) or one uncontended lock (queue) per wakeup. The
+// batch buffer is reused between wakeups; BatchConsumer implementations
+// must not retain it.
+func (p *port) run() {
+	batch := make([]filtering.Delivery, p.batchSize)
+	for {
+		n := 0
+		if p.ring != nil {
+			n = p.ring.DequeueBatch(batch)
+		}
+		if n == 0 {
+			var done bool
+			n, done = p.takeLockedBatch(batch)
+			if n == 0 {
+				if done && (p.ring == nil || p.ring.Empty()) {
+					return
+				}
+				p.waiter.Prepare()
+				if p.hasWork() {
+					p.waiter.Cancel()
+					continue
+				}
+				p.waiter.Wait()
+				continue
+			}
+		}
 		if p.batcher != nil {
-			p.batcher.ConsumeBatch(batch)
+			p.batcher.ConsumeBatch(batch[:n])
 			continue
 		}
-		for _, d := range batch {
+		for _, d := range batch[:n] {
 			p.consumer.Consume(d)
 		}
 	}
 }
 
 // close marks the port finished; the worker exits after draining. Held
-// catch-up deliveries reach no consumer and count as drops.
+// catch-up deliveries reach no consumer and count as drops. Producers
+// are forced onto the locked path first, so an enqueue racing close is
+// either fully in the ring (delivered: it happened-before the close) or
+// observes closed under mu and is dropped — never stranded.
 func (p *port) close() {
+	p.enterFallback()
 	p.mu.Lock()
 	p.closed = true
 	for range p.held {
@@ -445,6 +599,6 @@ func (p *port) close() {
 		p.selfDrop.Inc()
 	}
 	p.held = nil
-	p.cond.Broadcast()
 	p.mu.Unlock()
+	p.waiter.Wake()
 }

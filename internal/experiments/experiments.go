@@ -130,8 +130,46 @@ func All() []Experiment {
 		{"E15", "Dense-field broadcast: cost vs attached receivers", runE15},
 		{"E16", "Demand storm: sharded control plane under churn", runE16},
 		{"E17", "Late-joiner storm: replay catch-up under live load", runE17},
+		{"E18", "Async fan-out storm: lock-free delivery rings under load", runE18},
 		{"X1", "Multi-hop relaying — §8 future-work extension", runX1},
 	}
+}
+
+// FlagUsage summarises the experiment ids for command-line help,
+// compressing the contiguous E-range so it stays accurate as
+// experiments are added (the literal string in cmd/garnet-bench went
+// stale twice before this existed).
+func FlagUsage() string {
+	var ids []string
+	lowE, highE := 0, -1
+	ePos := -1
+	for _, e := range All() {
+		var n int
+		if _, err := fmt.Sscanf(e.ID, "E%d", &n); err == nil && fmt.Sprintf("E%d", n) == e.ID {
+			if highE < 0 {
+				lowE, highE = n, n
+				ePos = len(ids)
+				ids = append(ids, "") // placeholder for the compressed range
+			} else {
+				if n < lowE {
+					lowE = n
+				}
+				if n > highE {
+					highE = n
+				}
+			}
+			continue
+		}
+		ids = append(ids, e.ID)
+	}
+	if ePos >= 0 {
+		if lowE == highE {
+			ids[ePos] = fmt.Sprintf("E%d", lowE)
+		} else {
+			ids[ePos] = fmt.Sprintf("E%d..E%d", lowE, highE)
+		}
+	}
+	return strings.Join(ids, ", ")
 }
 
 // Run executes the experiment with the given id ("all" is not accepted

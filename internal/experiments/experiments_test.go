@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -254,5 +255,33 @@ func TestX1RelayReachGrows(t *testing.T) {
 		if rate := cellFloat(t, table, i, "delivery rate"); rate < 0.99 {
 			t.Errorf("row %d delivery rate %v, want lossless", i, rate)
 		}
+	}
+}
+
+// TestFlagUsage pins the derived -experiment usage summary: it must
+// track All() so the cmd/garnet-bench help text can never go stale,
+// compressing the contiguous E-range and keeping the other ids verbatim.
+func TestFlagUsage(t *testing.T) {
+	got := FlagUsage()
+	highE := 0
+	for _, e := range All() {
+		var n int
+		isE := false
+		if _, err := fmt.Sscanf(e.ID, "E%d", &n); err == nil && fmt.Sprintf("E%d", n) == e.ID {
+			isE = true
+			if n > highE {
+				highE = n
+			}
+		}
+		if !isE && !strings.Contains(got, e.ID) {
+			t.Errorf("usage %q missing id %s", got, e.ID)
+		}
+	}
+	want := fmt.Sprintf("E1..E%d", highE)
+	if !strings.Contains(got, want) {
+		t.Errorf("usage %q missing compressed range %q", got, want)
+	}
+	if highE < 18 {
+		t.Errorf("registry lost experiments: highest E id %d < 18", highE)
 	}
 }

@@ -6,12 +6,40 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// CacheLine is the coherence granularity the padded primitives assume.
+// 64 bytes is correct for every amd64 and most arm64 parts; on CPUs with
+// a larger effective granularity (adjacent-line prefetchers pairing two
+// lines) padding to one line still removes the worst of the ping-pong.
+const CacheLine = 64
+
+// VerifyPadding checks the layout invariant behind the padded shard
+// tables: given the addresses of consecutive padded cells and the size
+// of the live (unpadded) struct inside each, no cell's live bytes may
+// share a cache line with another's. This is what stops cross-shard
+// false sharing; it deliberately does not require the base address to
+// be line-aligned, because the runtime's 8-byte allocation header can
+// shift a pointer-bearing array to 8 mod CacheLine — the ≥8-byte tail
+// padding in each cell absorbs exactly that shift. Returns a
+// description of the first violation, or "" when the layout is sound.
+func VerifyPadding(addrs []uintptr, liveSize uintptr) string {
+	for i := 1; i < len(addrs); i++ {
+		prevLast := (addrs[i-1] + liveSize - 1) / CacheLine
+		first := addrs[i] / CacheLine
+		if first <= prevLast {
+			return fmt.Sprintf("cells %d and %d share cache line %d (addrs %#x+%d, %#x)",
+				i-1, i, first, addrs[i-1], liveSize, addrs[i])
+		}
+	}
+	return ""
+}
 
 // Counter is a monotonically increasing atomic counter.
 // The zero value is ready to use.
@@ -44,13 +72,34 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// PaddedCounter is a Counter occupying a whole cache line, for per-shard
+// or per-consumer counter cells that live adjacent in one array or are
+// allocated back to back: without the padding, two cells updated by
+// different cores ping-pong one line between them (false sharing) even
+// though the cells are logically independent. Use the embedded Counter's
+// methods; the padding is invisible to callers.
+type PaddedCounter struct {
+	Counter
+	_ [CacheLine - 8]byte
+}
+
+// PaddedGauge is a Gauge occupying a whole cache line; see PaddedCounter.
+type PaddedGauge struct {
+	Gauge
+	_ [CacheLine - 8]byte
+}
+
 // LabeledCounter is a set of Counters keyed by a string label (for
 // per-consumer or per-stream accounting). The zero value is ready to use.
 // With returns a stable *Counter per label, so hot paths resolve their
-// label once and then increment lock-free.
+// label once and then increment lock-free. Each label's cell is padded to
+// a full cache line: per-label counters are hot (every async overflow
+// drop hits one), and without padding the tiny allocations pack several
+// labels' cells into one line, so unrelated consumers' accounting would
+// contend.
 type LabeledCounter struct {
 	mu sync.Mutex
-	m  map[string]*Counter
+	m  map[string]*PaddedCounter
 }
 
 // With returns the counter for label, creating it on first use. The
@@ -59,14 +108,14 @@ func (lc *LabeledCounter) With(label string) *Counter {
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
 	if lc.m == nil {
-		lc.m = make(map[string]*Counter)
+		lc.m = make(map[string]*PaddedCounter)
 	}
 	c, ok := lc.m[label]
 	if !ok {
-		c = &Counter{}
+		c = &PaddedCounter{}
 		lc.m[label] = c
 	}
-	return c
+	return &c.Counter
 }
 
 // Snapshot returns the current value of every label's counter.

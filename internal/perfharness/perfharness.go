@@ -1,0 +1,474 @@
+// Package perfharness is the multicore performance harness behind
+// `garnet-bench -perf`: it sweeps {table shards} × {GOMAXPROCS} over the
+// hot paths the sharding era restructured — dispatch fan-out, the
+// ingest→dispatch pipeline, the store tee and the control submit — plus
+// the lock-free delivery ring against its retained mutex-queue twin, and
+// emits schema-stable BENCH_dispatch.json and BENCH_pipeline.json so the
+// perf trajectory of future PRs is measured, not asserted.
+//
+// Numbers are wall-clock and therefore host-dependent; the reports
+// record GOMAXPROCS, the host CPU count and the date so a reader can
+// tell a 1-core container run (procs > host_cpus: oversubscribed, ring
+// vs mutex parity expected) from a real multicore run (the CI multicore
+// job is the arbiter for scaling claims). Allocation counts are
+// host-independent; Validate enforces the 0-alloc paths.
+package perfharness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/dispatch"
+	"github.com/garnet-middleware/garnet/internal/filtering"
+	"github.com/garnet-middleware/garnet/internal/receiver"
+	"github.com/garnet-middleware/garnet/internal/resource"
+	"github.com/garnet-middleware/garnet/internal/ring"
+	"github.com/garnet-middleware/garnet/internal/store"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// Schema identifies the report layout; bump only with a migration note
+// in the README, because re-anchor tooling diffs these files across PRs.
+const Schema = "garnet-bench-perf/v1"
+
+// zeroAllocPaths are the paths Validate holds to 0 allocs/op (a small
+// tolerance absorbs runtime background allocations that land inside the
+// measurement window).
+var zeroAllocPaths = map[string]bool{
+	"ring_enqueue_drain": true,
+	"store_tee":          true,
+	"control_submit":     true,
+}
+
+// AllocTolerance is the allocs/op ceiling for zeroAllocPaths.
+const AllocTolerance = 0.05
+
+// Result is one measured cell of a sweep.
+type Result struct {
+	Path        string  `json:"path"`              // which hot path
+	Variant     string  `json:"variant,omitempty"` // e.g. ring vs mutex
+	Shards      int     `json:"shards"`
+	Procs       int     `json:"procs"` // GOMAXPROCS during the cell
+	Publishers  int     `json:"publishers"`
+	Msgs        int     `json:"msgs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	MsgsPerSec  float64 `json:"msgs_per_sec"`
+}
+
+// Report is one emitted BENCH_*.json document.
+type Report struct {
+	Schema   string   `json:"schema"`
+	Area     string   `json:"area"`
+	Date     string   `json:"date"`
+	Go       string   `json:"go"`
+	HostCPUs int      `json:"host_cpus"`
+	Quick    bool     `json:"quick"`
+	Results  []Result `json:"results"`
+}
+
+// Options configures a harness run.
+type Options struct {
+	// Quick shrinks the sweep (shards {1,16} × procs {1,4}, fewer
+	// messages) for CI smoke jobs.
+	Quick bool
+	// OutDir receives BENCH_dispatch.json and BENCH_pipeline.json;
+	// empty means the current directory.
+	OutDir string
+	// Log, when non-nil, receives one line per measured cell.
+	Log func(format string, args ...any)
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+func (o Options) shardSweep() []int {
+	if o.Quick {
+		return []int{1, 16}
+	}
+	return []int{1, 4, 16}
+}
+
+func (o Options) procSweep() []int {
+	if o.Quick {
+		return []int{1, 4}
+	}
+	return []int{1, 2, 4, 8}
+}
+
+func (o Options) msgs() int {
+	if o.Quick {
+		return 20_000
+	}
+	return 200_000
+}
+
+// measure runs fn (which must process msgs messages) at the given
+// GOMAXPROCS and returns the cell. Allocations are a runtime-global
+// Mallocs delta, so concurrent drainer goroutines are inside the
+// measurement — exactly what the 0-alloc enforcement wants.
+func measure(path, variant string, shards, procs, publishers, msgs int, fn func()) Result {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn()
+	dur := time.Since(start)
+	runtime.ReadMemStats(&after)
+	allocs := float64(after.Mallocs-before.Mallocs) / float64(msgs)
+	return Result{
+		Path:        path,
+		Variant:     variant,
+		Shards:      shards,
+		Procs:       procs,
+		Publishers:  publishers,
+		Msgs:        msgs,
+		NsPerOp:     float64(dur.Nanoseconds()) / float64(msgs),
+		AllocsPerOp: allocs,
+		MsgsPerSec:  float64(msgs) / dur.Seconds(),
+	}
+}
+
+// fanOut runs publishers goroutines, splitting msgs between them, each
+// calling emit(publisher, i) for its share.
+func fanOut(publishers, msgs int, emit func(p, i int)) {
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		n := msgs / publishers
+		if p < msgs%publishers {
+			n++
+		}
+		wg.Add(1)
+		go func(p, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				emit(p, i)
+			}
+		}(p, n)
+	}
+	wg.Wait()
+}
+
+const publishers = 16
+
+// benchDispatch is the synchronous fan-out path: 16 publishers on
+// distinct sensors, one exact no-op subscriber per stream, sweeping the
+// subscription-table shard count.
+func benchDispatch(shards, procs, msgs int) Result {
+	d := dispatch.New(dispatch.Options{Shards: shards})
+	streams := make([]wire.StreamID, publishers)
+	for i := range streams {
+		streams[i] = wire.MustStreamID(wire.SensorID(i+1), 0)
+		if _, err := d.Subscribe(&dispatch.ConsumerFunc{
+			ConsumerName: fmt.Sprintf("c%d", i),
+			Fn:           func(filtering.Delivery) {},
+		}, dispatch.Exact(streams[i])); err != nil {
+			panic(err)
+		}
+	}
+	// Warm the stream-advertising maps so the measured window is steady
+	// state.
+	for p := range streams {
+		d.Dispatch(filtering.Delivery{Msg: wire.Message{Stream: streams[p]}})
+	}
+	return measure("dispatch", "", shards, procs, publishers, msgs, func() {
+		fanOut(publishers, msgs, func(p, i int) {
+			d.Dispatch(filtering.Delivery{
+				Msg: wire.Message{Stream: streams[p], Seq: wire.Seq(i)},
+			})
+		})
+	})
+}
+
+// benchFanin is the async many-to-one path the lock-free ring exists
+// for: 16 publishers target one shared async consumer, so every enqueue
+// lands on the same port. variant selects the ring or the retained
+// mutex queue (Options.ForceLockedQueue); the measured window includes
+// the drain, so msgs/s is end-to-end enqueue→consume.
+func benchFanin(variant string, procs, msgs int) Result {
+	d := dispatch.New(dispatch.Options{
+		Mode:             dispatch.ModeAsync,
+		QueueCapacity:    8192,
+		ForceLockedQueue: variant == "mutex",
+	})
+	var sunk int64 // single drainer goroutine
+	if _, err := d.Subscribe(&dispatch.BatchConsumerFunc{
+		ConsumerName: "sink",
+		Fn:           func(ds []filtering.Delivery) { sunk += int64(len(ds)) },
+	}, dispatch.All()); err != nil {
+		panic(err)
+	}
+	d.Start()
+	streams := make([]wire.StreamID, publishers)
+	for i := range streams {
+		streams[i] = wire.MustStreamID(wire.SensorID(i+1), 0)
+		d.Dispatch(filtering.Delivery{Msg: wire.Message{Stream: streams[i]}})
+	}
+	res := measure("fanin", variant, dispatch.DefaultShards, procs, publishers, msgs, func() {
+		fanOut(publishers, msgs, func(p, i int) {
+			d.Dispatch(filtering.Delivery{
+				Msg: wire.Message{Stream: streams[p], Seq: wire.Seq(i)},
+			})
+		})
+		d.Stop() // waits for the drainer: the cell includes the drain
+	})
+	return res
+}
+
+// benchRingEnqueueDrain is the raw primitive: publishers spin values
+// into one ring.Ring while a drainer batch-consumes behind a Waiter.
+// This path must stay at 0 allocs/op — Validate enforces it.
+func benchRingEnqueueDrain(procs, msgs int) Result {
+	r := ring.New[filtering.Delivery](8192)
+	w := ring.NewWaiter()
+	var drained int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]filtering.Delivery, 64)
+		for drained < msgs {
+			n := r.DequeueBatch(buf)
+			drained += n
+			if n > 0 {
+				continue
+			}
+			w.Prepare()
+			if !r.Empty() {
+				w.Cancel()
+				continue
+			}
+			w.Wait()
+		}
+	}()
+	del := filtering.Delivery{Msg: wire.Message{Stream: wire.MustStreamID(1, 0)}}
+	res := measure("ring_enqueue_drain", "", 1, procs, publishers, msgs, func() {
+		fanOut(publishers, msgs, func(p, i int) {
+			for !r.TryEnqueue(del) {
+				r.TryDequeue() // drop-oldest, so the producer never stalls
+			}
+			w.Wake()
+		})
+		// Producers may have dropped entries; top the drainer up so it
+		// always reaches msgs and exits.
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				r.TryEnqueue(del)
+				w.Wake()
+			}
+		}
+	})
+	<-done
+	return res
+}
+
+// benchPipeline is ingest→dispatch end to end: receptions enter the
+// filter (duplicate screening, per-stream state) and accepted
+// deliveries fan out through the dispatcher, both tables at the swept
+// shard count.
+func benchPipeline(shards, procs, msgs int) Result {
+	d := dispatch.New(dispatch.Options{Shards: shards})
+	streams := make([]wire.StreamID, publishers)
+	for i := range streams {
+		streams[i] = wire.MustStreamID(wire.SensorID(i+1), 0)
+		if _, err := d.Subscribe(&dispatch.ConsumerFunc{
+			ConsumerName: fmt.Sprintf("c%d", i),
+			Fn:           func(filtering.Delivery) {},
+		}, dispatch.Exact(streams[i])); err != nil {
+			panic(err)
+		}
+	}
+	f := filtering.New(d.Dispatch, filtering.Options{Shards: shards})
+	for p := range streams {
+		f.Ingest(receiver.Reception{Msg: wire.Message{Stream: streams[p], Seq: 0}})
+	}
+	return measure("pipeline", "", shards, procs, publishers, msgs, func() {
+		fanOut(publishers, msgs, func(p, i int) {
+			f.Ingest(receiver.Reception{
+				Msg: wire.Message{Stream: streams[p], Seq: wire.Seq(i + 1)},
+			})
+		})
+	})
+}
+
+// benchStoreTee is the retention tee: every publisher appends to its own
+// stream. Steady-state Append is a 0-alloc path — Validate enforces it.
+func benchStoreTee(shards, procs, msgs int) Result {
+	st := store.New(store.Options{Shards: shards, MaxMessages: 1024})
+	streams := make([]wire.StreamID, publishers)
+	for i := range streams {
+		streams[i] = wire.MustStreamID(wire.SensorID(i+1), 0)
+	}
+	// Warm per-stream rings past their growth phase.
+	for p := range streams {
+		for i := 0; i < 2048; i++ {
+			st.Append(filtering.Delivery{
+				Msg: wire.Message{Stream: streams[p], Seq: wire.Seq(i)},
+			})
+		}
+	}
+	return measure("store_tee", "", shards, procs, publishers, msgs, func() {
+		fanOut(publishers, msgs, func(p, i int) {
+			st.Append(filtering.Delivery{
+				Msg: wire.Message{Stream: streams[p], Seq: wire.Seq(2048 + i)},
+			})
+		})
+	})
+}
+
+// benchControlSubmit is the return path's approved-no-change fast path:
+// consumers re-asserting standing demands. 0 allocs/op — Validate
+// enforces it.
+func benchControlSubmit(shards, procs, msgs int) Result {
+	rm := resource.NewWithOptions(resource.Options{Shards: shards})
+	demands := make([]resource.Demand, publishers)
+	for i := range demands {
+		demands[i] = resource.Demand{
+			Consumer: fmt.Sprintf("app%d", i),
+			Target:   wire.MustStreamID(wire.SensorID(i+1), 0),
+			Op:       wire.OpSetRate, Value: 2000,
+		}
+		if _, err := rm.Submit(demands[i]); err != nil {
+			panic(err)
+		}
+	}
+	return measure("control_submit", "", shards, procs, publishers, msgs, func() {
+		fanOut(publishers, msgs, func(p, i int) {
+			if _, err := rm.Submit(demands[p]); err != nil {
+				panic(err)
+			}
+		})
+	})
+}
+
+// Run executes the full sweep and returns the two reports in
+// BENCH_dispatch.json, BENCH_pipeline.json order.
+func Run(opts Options) (dispatchReport, pipelineReport Report) {
+	newReport := func(area string) Report {
+		return Report{
+			Schema:   Schema,
+			Area:     area,
+			Date:     time.Now().UTC().Format("2006-01-02"),
+			Go:       runtime.Version(),
+			HostCPUs: runtime.NumCPU(),
+			Quick:    opts.Quick,
+		}
+	}
+	msgs := opts.msgs()
+
+	dr := newReport("dispatch")
+	for _, shards := range opts.shardSweep() {
+		for _, procs := range opts.procSweep() {
+			res := benchDispatch(shards, procs, msgs)
+			opts.logf("%s shards=%d procs=%d: %.0f ns/op, %.2f Mmsg/s", res.Path, shards, procs, res.NsPerOp, res.MsgsPerSec/1e6)
+			dr.Results = append(dr.Results, res)
+		}
+	}
+	for _, variant := range []string{"ring", "mutex"} {
+		for _, procs := range opts.procSweep() {
+			res := benchFanin(variant, procs, msgs)
+			opts.logf("%s/%s procs=%d: %.0f ns/op, %.2f Mmsg/s", res.Path, variant, procs, res.NsPerOp, res.MsgsPerSec/1e6)
+			dr.Results = append(dr.Results, res)
+		}
+	}
+	for _, procs := range opts.procSweep() {
+		res := benchRingEnqueueDrain(procs, msgs)
+		opts.logf("%s procs=%d: %.0f ns/op, %.3f allocs/op", res.Path, procs, res.NsPerOp, res.AllocsPerOp)
+		dr.Results = append(dr.Results, res)
+	}
+
+	pr := newReport("pipeline")
+	for _, shards := range opts.shardSweep() {
+		for _, procs := range opts.procSweep() {
+			res := benchPipeline(shards, procs, msgs)
+			opts.logf("%s shards=%d procs=%d: %.0f ns/op, %.2f Mmsg/s", res.Path, shards, procs, res.NsPerOp, res.MsgsPerSec/1e6)
+			pr.Results = append(pr.Results, res)
+		}
+	}
+	for _, shards := range opts.shardSweep() {
+		for _, procs := range opts.procSweep() {
+			res := benchStoreTee(shards, procs, msgs)
+			opts.logf("%s shards=%d procs=%d: %.0f ns/op, %.3f allocs/op", res.Path, shards, procs, res.NsPerOp, res.AllocsPerOp)
+			pr.Results = append(pr.Results, res)
+		}
+	}
+	for _, shards := range opts.shardSweep() {
+		for _, procs := range opts.procSweep() {
+			res := benchControlSubmit(shards, procs, msgs)
+			opts.logf("%s shards=%d procs=%d: %.0f ns/op, %.3f allocs/op", res.Path, shards, procs, res.NsPerOp, res.AllocsPerOp)
+			pr.Results = append(pr.Results, res)
+		}
+	}
+	return dr, pr
+}
+
+// Validate checks a report against the schema and the 0-alloc bars.
+func Validate(r Report) error {
+	if r.Schema != Schema {
+		return fmt.Errorf("schema %q, want %q", r.Schema, Schema)
+	}
+	if r.Area == "" || r.Date == "" || r.Go == "" || r.HostCPUs <= 0 {
+		return fmt.Errorf("missing header fields: %+v", r)
+	}
+	if len(r.Results) == 0 {
+		return fmt.Errorf("report %q has no results", r.Area)
+	}
+	for _, res := range r.Results {
+		if res.Path == "" || res.Shards <= 0 || res.Procs <= 0 || res.Msgs <= 0 {
+			return fmt.Errorf("malformed result: %+v", res)
+		}
+		if res.NsPerOp <= 0 || res.MsgsPerSec <= 0 {
+			return fmt.Errorf("non-positive timing in result: %+v", res)
+		}
+		if zeroAllocPaths[res.Path] && res.AllocsPerOp > AllocTolerance {
+			return fmt.Errorf("path %s (shards=%d procs=%d) allocates %.3f/op, bar is %.2f",
+				res.Path, res.Shards, res.Procs, res.AllocsPerOp, AllocTolerance)
+		}
+	}
+	return nil
+}
+
+// WriteReports runs the sweep, validates both reports and writes
+// BENCH_dispatch.json and BENCH_pipeline.json into opts.OutDir,
+// returning the two file paths.
+func WriteReports(opts Options) (dispatchPath, pipelinePath string, err error) {
+	if opts.OutDir != "" {
+		if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+			return "", "", err
+		}
+	}
+	dr, pr := Run(opts)
+	if err := Validate(dr); err != nil {
+		return "", "", fmt.Errorf("dispatch report invalid: %w", err)
+	}
+	if err := Validate(pr); err != nil {
+		return "", "", fmt.Errorf("pipeline report invalid: %w", err)
+	}
+	write := func(name string, r Report) (string, error) {
+		path := filepath.Join(opts.OutDir, name)
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		return path, os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if dispatchPath, err = write("BENCH_dispatch.json", dr); err != nil {
+		return "", "", err
+	}
+	if pipelinePath, err = write("BENCH_pipeline.json", pr); err != nil {
+		return "", "", err
+	}
+	return dispatchPath, pipelinePath, nil
+}

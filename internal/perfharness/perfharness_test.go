@@ -1,0 +1,86 @@
+package perfharness
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestWriteReportsQuick runs the quick sweep end to end: both reports
+// must validate (which enforces the 0-alloc paths), serialise to the
+// stable schema and cover every hot path.
+func TestWriteReportsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf sweep in -short mode")
+	}
+	dir := t.TempDir()
+	dp, pp, err := WriteReports(Options{Quick: true, OutDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPaths := map[string][]string{
+		dp: {"dispatch", "fanin", "ring_enqueue_drain"},
+		pp: {"pipeline", "store_tee", "control_submit"},
+	}
+	for file, paths := range wantPaths {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r Report
+		if err := json.Unmarshal(data, &r); err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if err := Validate(r); err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		seen := map[string]bool{}
+		for _, res := range r.Results {
+			seen[res.Path] = true
+		}
+		for _, p := range paths {
+			if !seen[p] {
+				t.Fatalf("%s: path %q missing from results", file, p)
+			}
+		}
+		if !r.Quick {
+			t.Fatalf("%s: quick flag not recorded", file)
+		}
+	}
+}
+
+// TestValidate pins the failure modes the CI smoke job relies on.
+func TestValidate(t *testing.T) {
+	good := Report{
+		Schema: Schema, Area: "dispatch", Date: "2026-08-08",
+		Go: "go1.0", HostCPUs: 1,
+		Results: []Result{{
+			Path: "dispatch", Shards: 1, Procs: 1, Publishers: 16,
+			Msgs: 100, NsPerOp: 10, MsgsPerSec: 1e6,
+		}},
+	}
+	if err := Validate(good); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+
+	bad := good
+	bad.Schema = "garnet-bench-perf/v0"
+	if Validate(bad) == nil {
+		t.Fatal("wrong schema accepted")
+	}
+
+	regressed := good
+	regressed.Results = []Result{{
+		Path: "store_tee", Shards: 1, Procs: 1, Publishers: 16,
+		Msgs: 100, NsPerOp: 10, MsgsPerSec: 1e6, AllocsPerOp: 1.5,
+	}}
+	if Validate(regressed) == nil {
+		t.Fatal("allocs/op regression on a 0-alloc path accepted")
+	}
+
+	empty := good
+	empty.Results = nil
+	if Validate(empty) == nil {
+		t.Fatal("empty report accepted")
+	}
+}

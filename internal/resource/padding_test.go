@@ -1,0 +1,28 @@
+package resource
+
+import (
+	"testing"
+	"unsafe"
+
+	"github.com/garnet-middleware/garnet/internal/metrics"
+)
+
+// TestShardPadding pins the anti-false-sharing layout of the ledger
+// shard table; see the dispatch package's test of the same name.
+func TestShardPadding(t *testing.T) {
+	sz, live := unsafe.Sizeof(paddedMShard{}), unsafe.Sizeof(mshard{})
+	if sz%metrics.CacheLine != 0 {
+		t.Fatalf("paddedMShard size %d is not a multiple of %d", sz, metrics.CacheLine)
+	}
+	if sz-live < 8 {
+		t.Fatalf("tail padding %d < 8: a shifted array base could share a boundary line", sz-live)
+	}
+	shards := newShards(4)
+	addrs := make([]uintptr, len(shards))
+	for i, sh := range shards {
+		addrs[i] = uintptr(unsafe.Pointer(sh))
+	}
+	if msg := metrics.VerifyPadding(addrs, live); msg != "" {
+		t.Fatal(msg)
+	}
+}

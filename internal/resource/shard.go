@@ -3,7 +3,9 @@ package resource
 import (
 	"sort"
 	"sync"
+	"unsafe"
 
+	"github.com/garnet-middleware/garnet/internal/metrics"
 	"github.com/garnet-middleware/garnet/internal/wire"
 )
 
@@ -37,14 +39,27 @@ type mshard struct {
 	withdrawn int64
 }
 
+// paddedMShard rounds an mshard up to whole cache lines, keeping at
+// least 8 bytes of trailing padding, so live fields of adjacent shards
+// in the contiguous backing array never share a line even when the
+// runtime's 8-byte allocation header shifts the array base off line
+// alignment (see the dispatch package's paddedShard for the full
+// rationale).
+type paddedMShard struct {
+	mshard
+	_ [(unsafe.Sizeof(mshard{})+metrics.CacheLine+7)/metrics.CacheLine*metrics.CacheLine - unsafe.Sizeof(mshard{})]byte
+}
+
+// newShards builds the ledger shards as one contiguous padded array.
 func newShards(n int) []*mshard {
+	backing := make([]paddedMShard, n)
 	shards := make([]*mshard, n)
 	for i := range shards {
-		shards[i] = &mshard{
-			ledger:      make(map[ledgerKey]*entry),
-			constraints: make(map[wire.SensorID]Constraints),
-			owners:      make(map[string]map[ledgerKey]struct{}),
-		}
+		sh := &backing[i].mshard
+		sh.ledger = make(map[ledgerKey]*entry)
+		sh.constraints = make(map[wire.SensorID]Constraints)
+		sh.owners = make(map[string]map[ledgerKey]struct{})
+		shards[i] = sh
 	}
 	return shards
 }

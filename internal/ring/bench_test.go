@@ -1,0 +1,147 @@
+package ring
+
+import (
+	"sync"
+	"testing"
+)
+
+// BenchmarkWakeup pins the satellite claim behind the Waiter: notifying
+// a running drainer through the two-state atomic is cheaper than
+// sync.Cond.Signal, which acquires the cond's internal lock on every
+// call whether or not anyone waits. Both benchmarks measure the
+// producer-side cost with the consumer awake — the dispatcher's steady
+// state, where the drainer is busy and every enqueue still has to offer
+// a wakeup.
+func BenchmarkWakeup(b *testing.B) {
+	b.Run("cond_signal", func(b *testing.B) {
+		var mu sync.Mutex
+		cond := sync.NewCond(&mu)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				cond.Signal()
+			}
+		})
+	})
+	b.Run("atomic_park", func(b *testing.B) {
+		w := NewWaiter()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				w.Wake()
+			}
+		})
+	})
+}
+
+// BenchmarkWakeupParked measures the full park/unpark round trip: the
+// consumer actually sleeps between wakeups, so the producer pays the
+// CAS + channel send and the consumer the channel receive. This is the
+// idle-consumer edge, not the steady state.
+func BenchmarkWakeupParked(b *testing.B) {
+	b.Run("cond_signal", func(b *testing.B) {
+		var mu sync.Mutex
+		cond := sync.NewCond(&mu)
+		work := 0
+		done := false
+		go func() {
+			mu.Lock()
+			for !done {
+				for work == 0 && !done {
+					cond.Wait()
+				}
+				work = 0
+			}
+			mu.Unlock()
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mu.Lock()
+			work++
+			mu.Unlock()
+			cond.Signal()
+		}
+		b.StopTimer()
+		mu.Lock()
+		done = true
+		mu.Unlock()
+		cond.Signal()
+	})
+	b.Run("atomic_park", func(b *testing.B) {
+		w := NewWaiter()
+		var work sync.Mutex
+		pending := 0
+		finished := false
+		go func() {
+			for {
+				work.Lock()
+				n, fin := pending, finished
+				pending = 0
+				work.Unlock()
+				if fin && n == 0 {
+					return
+				}
+				if n > 0 {
+					continue
+				}
+				w.Prepare()
+				work.Lock()
+				n, fin = pending, finished
+				work.Unlock()
+				if n > 0 || fin {
+					w.Cancel()
+					continue
+				}
+				w.Wait()
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			work.Lock()
+			pending++
+			work.Unlock()
+			w.Wake()
+		}
+		b.StopTimer()
+		work.Lock()
+		finished = true
+		work.Unlock()
+		w.Wake()
+	})
+}
+
+// BenchmarkRingEnqueueDequeue measures the raw queue hot pair.
+func BenchmarkRingEnqueueDequeue(b *testing.B) {
+	r := New[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.TryEnqueue(i)
+		r.TryDequeue()
+	}
+}
+
+// BenchmarkRingProducers measures contended enqueue with a draining
+// consumer, the dispatcher's fan-in shape.
+func BenchmarkRingProducers(b *testing.B) {
+	r := New[int](1024)
+	stop := make(chan struct{})
+	go func() {
+		buf := make([]int, 64)
+		for {
+			if r.DequeueBatch(buf) == 0 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			for !r.TryEnqueue(1) {
+				r.TryDequeue()
+			}
+		}
+	})
+	close(stop)
+}

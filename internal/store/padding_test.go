@@ -1,0 +1,28 @@
+package store
+
+import (
+	"testing"
+	"unsafe"
+
+	"github.com/garnet-middleware/garnet/internal/metrics"
+)
+
+// TestShardPadding pins the anti-false-sharing layout of the store
+// shard table; see the dispatch package's test of the same name.
+func TestShardPadding(t *testing.T) {
+	sz, live := unsafe.Sizeof(paddedShard{}), unsafe.Sizeof(shard{})
+	if sz%metrics.CacheLine != 0 {
+		t.Fatalf("paddedShard size %d is not a multiple of %d", sz, metrics.CacheLine)
+	}
+	if sz-live < 8 {
+		t.Fatalf("tail padding %d < 8: a shifted array base could share a boundary line", sz-live)
+	}
+	s := New(Options{Shards: 4})
+	addrs := make([]uintptr, len(s.shards))
+	for i, sh := range s.shards {
+		addrs[i] = uintptr(unsafe.Pointer(sh))
+	}
+	if msg := metrics.VerifyPadding(addrs, live); msg != "" {
+		t.Fatal(msg)
+	}
+}
