@@ -540,6 +540,11 @@ func BenchmarkE17LateJoinerStorm(b *testing.B) { benchExperiment(b, "E17") }
 // swept across GOMAXPROCS).
 func BenchmarkE18AsyncFanoutStorm(b *testing.B) { benchExperiment(b, "E18") }
 
+// BenchmarkE19BatchedIngestStorm regenerates the batched-ingest table
+// (E18's storm swept across WithIngestBatch sizes; ordering violations
+// must stay 0 at every batch size).
+func BenchmarkE19BatchedIngestStorm(b *testing.B) { benchExperiment(b, "E19") }
+
 // BenchmarkE16DemandStorm regenerates the control-plane demand-storm
 // table (concurrent consumers churning demands plus live data traffic).
 func BenchmarkE16DemandStorm(b *testing.B) { benchExperiment(b, "E16") }

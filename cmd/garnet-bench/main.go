@@ -8,12 +8,17 @@
 //	garnet-bench -quick           # reduced sweeps (smoke run)
 //	garnet-bench -seed 7          # change the deterministic seed
 //	garnet-bench -perf            # multicore perf sweep → BENCH_*.json
+//	garnet-bench -perf -baseline BENCH_pipeline.json
+//	                              # ...and diff the fresh run against a
+//	                              # committed report, per-scenario msgs/s
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/garnet-middleware/garnet/internal/experiments"
@@ -35,11 +40,37 @@ func run() error {
 		quick = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 		perf  = flag.Bool("perf", false,
 			"run the multicore perf sweep and emit BENCH_dispatch.json / BENCH_pipeline.json instead of experiment tables")
-		outDir = flag.String("out", ".", "output directory for -perf BENCH_*.json files")
+		outDir   = flag.String("out", ".", "output directory for -perf BENCH_*.json files")
+		baseline = flag.String("baseline", "",
+			"committed BENCH_*.json to diff the fresh -perf run against (per-scenario msgs/s deltas)")
 	)
 	flag.Parse()
 
 	if *perf {
+		// The scenario listing comes from the harness registry — the same
+		// source Run executes — so it can never drift from what actually
+		// runs.
+		mode := "full"
+		if *quick {
+			mode = "quick"
+		}
+		var names []string
+		for _, sc := range perfharness.Scenarios() {
+			names = append(names, sc.Name)
+		}
+		fmt.Fprintf(os.Stdout, "perf scenarios (%s sweep): %s\n", mode, strings.Join(names, " "))
+		// Load the baseline before the sweep runs: -out may point at the
+		// directory holding the baseline itself, and the comparison must
+		// be against the committed numbers, not the freshly overwritten
+		// file.
+		var base *perfharness.Report
+		if *baseline != "" {
+			r, err := loadReport(*baseline)
+			if err != nil {
+				return fmt.Errorf("baseline: %w", err)
+			}
+			base = &r
+		}
 		dp, pp, err := perfharness.WriteReports(perfharness.Options{
 			Quick:  *quick,
 			OutDir: *outDir,
@@ -51,6 +82,9 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stdout, "wrote %s\nwrote %s\n", dp, pp)
+		if base != nil {
+			return diffBaseline(*baseline, *base, dp, pp)
+		}
 		return nil
 	}
 
@@ -74,5 +108,38 @@ func run() error {
 		fmt.Fprintf(os.Stdout, "  [%s completed in %v]\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Fprintf(os.Stdout, "all experiments completed in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func loadReport(path string) (perfharness.Report, error) {
+	var r perfharness.Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	return r, json.Unmarshal(data, &r)
+}
+
+// diffBaseline prints per-scenario msgs/s deltas between a committed
+// baseline report (loaded before the sweep ran) and the fresh report of
+// the same area, which the run just wrote to dispatchPath/pipelinePath.
+func diffBaseline(baselinePath string, base perfharness.Report, dispatchPath, pipelinePath string) error {
+	freshPath := dispatchPath
+	if base.Area == "pipeline" {
+		freshPath = pipelinePath
+	}
+	fresh, err := loadReport(freshPath)
+	if err != nil {
+		return err
+	}
+	deltas := perfharness.Compare(base, fresh)
+	if len(deltas) == 0 {
+		return fmt.Errorf("baseline %s shares no cells with the fresh %s report", baselinePath, base.Area)
+	}
+	fmt.Fprintf(os.Stdout, "\nbaseline %s (%s, %s) vs fresh run:\n", baselinePath, base.Area, base.Date)
+	for _, d := range deltas {
+		fmt.Fprintf(os.Stdout, "  %-55s %8.2f → %8.2f Kmsg/s (%+.1f%%)\n",
+			d.Key, d.Baseline/1e3, d.Current/1e3, d.Pct)
+	}
 	return nil
 }

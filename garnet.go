@@ -119,6 +119,22 @@ func WithBatchSize(k int) Option {
 	return func(cfg *core.Config) { cfg.Dispatch.BatchSize = k }
 }
 
+// WithIngestBatch collects up to n receptions into a bounded flush
+// buffer on the receive path and drives the batched pipeline — shard
+// locks taken once per batch in the filter, store and dispatcher, and
+// multi-slot ring claims on async consumer queues — instead of paying
+// every per-message fixed cost. The buffer flushes when full and at
+// every timestamp boundary, so virtual-clock determinism and delivery
+// ordering are untouched; per-message filter/retention/overflow
+// decisions are identical to the unbatched path. n <= 1 (the default)
+// keeps today's per-message path bit-for-bit. Larger batches raise
+// throughput at the cost of up to n-1 receptions of added latency
+// before a flush under a real clock; see README "Batched ingest
+// tuning".
+func WithIngestBatch(n int) Option {
+	return func(cfg *core.Config) { cfg.IngestBatch = n }
+}
+
 // WithFilterShards partitions the Filtering Service's per-stream
 // duplicate/reorder state into n shards so receptions on streams of
 // different sensors never contend on one ingest lock (n <= 0 selects the

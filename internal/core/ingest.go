@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/receiver"
+)
+
+// ingestBuffer collects receptions into a small bounded run and drives
+// the batched pipeline (filter.IngestBatch → store.AppendBatch →
+// dispatcher.DispatchBatch) one flush at a time. It flushes when the
+// buffer fills and whenever the next reception carries a different
+// timestamp: under a virtual clock every buffered reception shares one
+// instant, so batching never reorders deliveries across clock steps and
+// the schedule stays bit-for-bit deterministic.
+//
+// The mutex is held across the flush itself. That is deliberate:
+// correctness first — a reception arriving mid-flush must not start a
+// second flush and interleave per-stream order. Under a virtual clock
+// there is exactly one driving goroutine, so the lock is uncontended;
+// under a real clock concurrent receivers serialise here the same way
+// they already serialise on a filter shard. The flush path must not
+// re-enter add (a synchronous consumer injecting receptions from
+// Consume would deadlock; inject from a separate goroutine instead).
+//
+// Borrowed payloads alias leased radio frames that are only valid for
+// the duration of the receiver's sink call, so add copies them into
+// per-slot recycled storage. Borrowed stays true on the buffered copy:
+// the slot storage is reused across flushes, so the filter must still
+// detach the payloads it accepts, exactly as on the serial path. A
+// warmed-up buffer allocates nothing per reception.
+type ingestBuffer struct {
+	d *Deployment
+
+	mu    sync.Mutex
+	buf   []receiver.Reception
+	owned [][]byte // recycled payload storage per slot, for borrowed frames
+	n     int
+	at    time.Time // shared instant of the buffered receptions
+}
+
+func newIngestBuffer(d *Deployment, size int) *ingestBuffer {
+	return &ingestBuffer{
+		d:     d,
+		buf:   make([]receiver.Reception, size),
+		owned: make([][]byte, size),
+	}
+}
+
+// add buffers one reception, flushing first when rc breaks the buffered
+// instant and after when the buffer is full.
+func (b *ingestBuffer) add(rc receiver.Reception) {
+	b.mu.Lock()
+	if b.n > 0 && !rc.At.Equal(b.at) {
+		b.flushLocked()
+	}
+	if b.n == 0 {
+		b.at = rc.At
+	}
+	slot := &b.buf[b.n]
+	*slot = rc
+	if rc.Borrowed && len(rc.Msg.Payload) > 0 {
+		b.owned[b.n] = append(b.owned[b.n][:0], rc.Msg.Payload...)
+		slot.Msg.Payload = b.owned[b.n]
+	}
+	b.n++
+	if b.n == len(b.buf) {
+		b.flushLocked()
+	}
+	b.mu.Unlock()
+}
+
+// flush empties the buffer through the batched pipeline.
+func (b *ingestBuffer) flush() {
+	b.mu.Lock()
+	b.flushLocked()
+	b.mu.Unlock()
+}
+
+func (b *ingestBuffer) flushLocked() {
+	if b.n == 0 {
+		return
+	}
+	n := b.n
+	b.n = 0
+	b.d.filter.IngestBatch(b.buf[:n])
+	// Slots keep their recycled payload storage (b.owned); the message
+	// payload references left in b.buf are overwritten before reuse and
+	// hold only buffer-owned or caller-owned memory, never leased
+	// frames, so nothing here pins a radio buffer past its lease.
+}

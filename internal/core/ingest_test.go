@@ -1,0 +1,109 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/consumer"
+	"github.com/garnet-middleware/garnet/internal/dispatch"
+	"github.com/garnet-middleware/garnet/internal/field"
+	"github.com/garnet-middleware/garnet/internal/geo"
+	"github.com/garnet-middleware/garnet/internal/radio"
+	"github.com/garnet-middleware/garnet/internal/receiver"
+	"github.com/garnet-middleware/garnet/internal/sim"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// TestIngestBatchEndToEndMatchesSerial pins the batched deployment
+// pipeline to the per-message one: the same deterministic virtual-clock
+// schedule must yield identical consumer delivery sequences (message,
+// StoreSeq) and identical filter/store/dispatch accounting at every
+// batch size, including batch=1 (which must bypass the buffer).
+func TestIngestBatchEndToEndMatchesSerial(t *testing.T) {
+	run := func(batch int) ([]wire.Seq, []uint64, Snapshot) {
+		clock := sim.NewVirtualClock(epoch)
+		d := New(Config{
+			Clock:       clock,
+			Radio:       radio.Params{LossProb: 0.15, DelayMin: time.Millisecond, DelayMax: 8 * time.Millisecond, Seed: 7},
+			Secret:      []byte("test-secret"),
+			IngestBatch: batch,
+		})
+		for _, p := range field.GridPositions(geo.RectWH(0, 0, 200, 200), 4) {
+			d.AddReceiver(receiver.Config{Position: p, Radius: 180})
+		}
+		addSensor(t, d, 1, 0, 250*time.Millisecond)
+		addSensor(t, d, 2, 0, 400*time.Millisecond)
+		rec := consumer.NewRecorder("app", 8192)
+		if _, err := d.Dispatcher().Subscribe(rec, dispatch.BySensor(1)); err != nil {
+			t.Fatal(err)
+		}
+		d.Start()
+		clock.Advance(20 * time.Second)
+		d.Stop()
+		var seqs []wire.Seq
+		var stores []uint64
+		for _, dd := range rec.Deliveries() {
+			seqs = append(seqs, dd.Msg.Seq)
+			stores = append(stores, dd.StoreSeq)
+		}
+		return seqs, stores, d.Stats()
+	}
+	refSeqs, refStores, refSnap := run(0)
+	for _, batch := range []int{1, 8, 64} {
+		gotSeqs, gotStores, gotSnap := run(batch)
+		if !reflect.DeepEqual(refSeqs, gotSeqs) {
+			t.Fatalf("batch=%d: consumer sequence diverges from serial", batch)
+		}
+		if !reflect.DeepEqual(refStores, gotStores) {
+			t.Fatalf("batch=%d: StoreSeq stamping diverges from serial", batch)
+		}
+		if refSnap.Filter != gotSnap.Filter {
+			t.Fatalf("batch=%d: filter stats diverge: serial %+v, batched %+v",
+				batch, refSnap.Filter, gotSnap.Filter)
+		}
+		if refSnap.Store != gotSnap.Store {
+			t.Fatalf("batch=%d: store stats diverge: serial %+v, batched %+v",
+				batch, refSnap.Store, gotSnap.Store)
+		}
+		if refSnap.Dispatch.Dispatched != gotSnap.Dispatch.Dispatched ||
+			refSnap.Dispatch.Delivered != gotSnap.Dispatch.Delivered ||
+			refSnap.Dispatch.Orphaned != gotSnap.Dispatch.Orphaned {
+			t.Fatalf("batch=%d: dispatch stats diverge: serial %+v, batched %+v",
+				batch, refSnap.Dispatch, gotSnap.Dispatch)
+		}
+	}
+}
+
+// TestIngestBufferFlushesOnInstantBoundary pins the same-instant rule
+// directly: receptions at one instant ride one flush; the first
+// reception of a new instant forces the previous run out first.
+func TestIngestBufferFlushesOnInstantBoundary(t *testing.T) {
+	clock := sim.NewVirtualClock(epoch)
+	d := New(Config{Clock: clock, Secret: []byte("s"), IngestBatch: 16})
+	rec := consumer.NewRecorder("app", 64)
+	if _, err := d.Dispatcher().Subscribe(rec, dispatch.BySensor(1)); err != nil {
+		t.Fatal(err)
+	}
+	id := wire.MustStreamID(1, 0)
+	for i := 0; i < 3; i++ {
+		d.InjectReception(receiver.Reception{
+			Msg: wire.Message{Stream: id, Seq: wire.Seq(i)}, Receiver: "rx", At: epoch,
+		})
+	}
+	if rec.Count() != 0 {
+		t.Fatalf("same-instant receptions flushed early: %d delivered", rec.Count())
+	}
+	// A reception at a later instant must flush the buffered run before
+	// being buffered itself.
+	d.InjectReception(receiver.Reception{
+		Msg: wire.Message{Stream: id, Seq: 3}, Receiver: "rx", At: epoch.Add(time.Millisecond),
+	})
+	if rec.Count() != 3 {
+		t.Fatalf("instant boundary flushed %d deliveries, want 3", rec.Count())
+	}
+	d.Stop() // drains the remaining buffered reception
+	if rec.Count() != 4 {
+		t.Fatalf("Stop flushed %d deliveries total, want 4", rec.Count())
+	}
+}

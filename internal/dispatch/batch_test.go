@@ -1,0 +1,268 @@
+package dispatch
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/garnet-middleware/garnet/internal/filtering"
+	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// dispatchPlan builds a deterministic randomised delivery schedule
+// across several sensors and streams, StoreSeq stamped ascending per
+// stream so replay floors engage.
+func dispatchPlan(seed int64, sensors, msgs int) []filtering.Delivery {
+	rng := rand.New(rand.NewSource(seed))
+	next := make(map[wire.StreamID]uint64)
+	plan := make([]filtering.Delivery, 0, msgs)
+	for i := 0; i < msgs; i++ {
+		id := wire.MustStreamID(wire.SensorID(rng.Intn(sensors)+1), wire.StreamIndex(rng.Intn(2)))
+		next[id]++
+		d := del(id, wire.Seq(next[id]))
+		d.StoreSeq = 65536 + next[id]
+		plan = append(plan, d)
+	}
+	return plan
+}
+
+// feedBatches replays plan through DispatchBatch in randomized splits.
+func feedBatches(d *Dispatcher, plan []filtering.Delivery, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	ds := append([]filtering.Delivery(nil), plan...)
+	for off := 0; off < len(ds); {
+		n := rng.Intn(65) + 1
+		if n > len(ds)-off {
+			n = len(ds) - off
+		}
+		d.DispatchBatch(ds[off : off+n])
+		off += n
+	}
+}
+
+// subscribeMix registers one consumer of every pattern kind plus an
+// orphan sink, returning the recorders keyed by name.
+func subscribeMix(t *testing.T, d *Dispatcher, orphans *[]wire.StreamID) map[string]*recorder {
+	t.Helper()
+	recs := map[string]*recorder{}
+	for _, name := range []string{"exact", "sensor", "all", "where", "multi"} {
+		recs[name] = &recorder{name: name}
+	}
+	mustSub := func(c Consumer, p Pattern) {
+		t.Helper()
+		if _, err := d.Subscribe(c, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSub(recs["exact"], Exact(wire.MustStreamID(1, 0)))
+	mustSub(recs["sensor"], BySensor(2))
+	mustSub(recs["all"], All())
+	mustSub(recs["where"], Where(func(m wire.Message) bool { return m.Seq%3 == 0 }))
+	// One consumer holding overlapping subscriptions: compaction must
+	// deliver once per message on both paths.
+	mustSub(recs["multi"], Exact(wire.MustStreamID(3, 0)))
+	mustSub(recs["multi"], BySensor(3))
+	d.SetOrphanSink(func(dd filtering.Delivery) {
+		*orphans = append(*orphans, dd.Msg.Stream)
+	})
+	return recs
+}
+
+func recordedSeqs(recs map[string]*recorder) map[string][]filtering.Delivery {
+	out := map[string][]filtering.Delivery{}
+	for name, r := range recs {
+		r.mu.Lock()
+		out[name] = append([]filtering.Delivery(nil), r.got...)
+		r.mu.Unlock()
+	}
+	return out
+}
+
+// TestDispatchBatchMatchesSerialSync pins DispatchBatch to serial
+// Dispatch in synchronous mode: same plan, randomized batch splits,
+// identical per-consumer delivery sequences, orphan routing and stats
+// across every pattern kind including per-message Where wildcards.
+func TestDispatchBatchMatchesSerialSync(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		plan := dispatchPlan(seed, 5, 1500) // sensors 4,5 orphan
+		run := func(batched bool) (map[string][]filtering.Delivery, []wire.StreamID, Stats) {
+			d := New(Options{Shards: 4})
+			var orphans []wire.StreamID
+			recs := subscribeMix(t, d, &orphans)
+			if batched {
+				feedBatches(d, plan, seed*31)
+			} else {
+				for _, dd := range plan {
+					d.Dispatch(dd)
+				}
+			}
+			return recordedSeqs(recs), orphans, d.Stats()
+		}
+		refSeqs, refOrphans, refStats := run(false)
+		gotSeqs, gotOrphans, gotStats := run(true)
+		if !reflect.DeepEqual(refSeqs, gotSeqs) {
+			t.Fatalf("seed %d: batched per-consumer deliveries diverge from serial", seed)
+		}
+		if !reflect.DeepEqual(refOrphans, gotOrphans) {
+			t.Fatalf("seed %d: orphan routing diverges", seed)
+		}
+		if refStats.Dispatched != gotStats.Dispatched ||
+			refStats.Delivered != gotStats.Delivered ||
+			refStats.Orphaned != gotStats.Orphaned ||
+			refStats.Dropped != gotStats.Dropped {
+			t.Fatalf("seed %d: stats diverge: serial %+v, batched %+v", seed, refStats, gotStats)
+		}
+	}
+}
+
+// TestDispatchBatchMatchesSerialAsync runs the same property through
+// the async ring ports (ample capacity, drained by Stop): per-consumer
+// sequences must match serial exactly.
+func TestDispatchBatchMatchesSerialAsync(t *testing.T) {
+	for seed := int64(6); seed <= 8; seed++ {
+		plan := dispatchPlan(seed, 5, 1500)
+		run := func(batched bool) map[string][]filtering.Delivery {
+			d := New(Options{Mode: ModeAsync, Shards: 4, QueueCapacity: 4096})
+			var orphans []wire.StreamID
+			recs := subscribeMix(t, d, &orphans)
+			d.Start()
+			if batched {
+				feedBatches(d, plan, seed*31)
+			} else {
+				for _, dd := range plan {
+					d.Dispatch(dd)
+				}
+			}
+			d.Stop()
+			return recordedSeqs(recs)
+		}
+		ref := run(false)
+		got := run(true)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("seed %d: async batched per-consumer deliveries diverge from serial", seed)
+		}
+	}
+}
+
+// TestPortEnqueueBatchMatchesSerial pins enqueueBatch to serial enqueue
+// at the port level with no drainer running, where overflow decisions
+// are deterministic: same deliveries in, same queue contents and drop
+// counts out, for both overflow policies on both the lock-free ring and
+// the locked fallback.
+func TestPortEnqueueBatchMatchesSerial(t *testing.T) {
+	plan := dispatchPlan(11, 3, 400)
+	for _, policy := range []OverflowPolicy{DropOldest, DropNewest} {
+		for _, lockFree := range []bool{true, false} {
+			name := fmt.Sprintf("policy=%d/lockFree=%v", policy, lockFree)
+			t.Run(name, func(t *testing.T) {
+				run := func(batched bool) ([]filtering.Delivery, int64) {
+					var dropped, selfDrop metrics.Counter
+					sink := &recorder{name: "sink"}
+					p := newPort(sink, 64, 32, policy, lockFree, &dropped, &selfDrop)
+					if batched {
+						rng := rand.New(rand.NewSource(99))
+						ds := append([]filtering.Delivery(nil), plan...)
+						for off := 0; off < len(ds); {
+							n := rng.Intn(17) + 1
+							if n > len(ds)-off {
+								n = len(ds) - off
+							}
+							p.enqueueBatch(ds[off : off+n])
+							off += n
+						}
+					} else {
+						for _, dd := range plan {
+							p.enqueue(dd)
+						}
+					}
+					// Drain without running the worker goroutine.
+					var out []filtering.Delivery
+					buf := make([]filtering.Delivery, 16)
+					for {
+						n := 0
+						if p.ring != nil {
+							n = p.ring.DequeueBatch(buf)
+						}
+						if n == 0 {
+							n, _ = p.takeLockedBatch(buf)
+						}
+						if n == 0 {
+							break
+						}
+						out = append(out, buf[:n]...)
+					}
+					return out, dropped.Value()
+				}
+				refOut, refDrops := run(false)
+				gotOut, gotDrops := run(true)
+				if !reflect.DeepEqual(refOut, gotOut) {
+					t.Fatalf("batched queue contents diverge from serial")
+				}
+				if refDrops != gotDrops {
+					t.Fatalf("drop accounting diverges: serial %d, batched %d", refDrops, gotDrops)
+				}
+			})
+		}
+	}
+}
+
+// TestDispatchBatchMidBatchReplayGate exercises the catch-up gate
+// against batched dispatch: the replay fetch itself dispatches batches
+// (fetch runs without dispatcher locks, so this is exactly a batch
+// racing the gate), which must be held behind the replay and flushed
+// after it minus floor-covered duplicates — identically to serial
+// dispatch racing a serial gate.
+func TestDispatchBatchMidBatchReplayGate(t *testing.T) {
+	id := wire.MustStreamID(1, 0)
+	mk := func(seq wire.Seq, store uint64) filtering.Delivery {
+		d := del(id, seq)
+		d.StoreSeq = store
+		return d
+	}
+	history := []filtering.Delivery{mk(1, 65537), mk(2, 65538), mk(3, 65539)}
+	// Mid-gate live traffic: a late copy of retained history (StoreSeq
+	// 65539, must be suppressed by the floor) and fresh deliveries.
+	live := []filtering.Delivery{mk(3, 65539), mk(4, 65540), mk(5, 65541)}
+	for _, mode := range []Mode{ModeSync, ModeAsync} {
+		for _, batched := range []bool{false, true} {
+			t.Run(fmt.Sprintf("mode=%d/batched=%v", mode, batched), func(t *testing.T) {
+				d := New(Options{Mode: mode, Shards: 4})
+				c := &recorder{name: "c"}
+				if mode == ModeAsync {
+					d.Start()
+				}
+				_, n, err := d.SubscribeWithReplay(c, id, func() []filtering.Delivery {
+					if batched {
+						d.DispatchBatch(live)
+					} else {
+						for _, dd := range live {
+							d.Dispatch(dd)
+						}
+					}
+					return history
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n != len(history) {
+					t.Fatalf("replayed %d, want %d", n, len(history))
+				}
+				if mode == ModeAsync {
+					d.Stop()
+				}
+				var got []uint64
+				c.mu.Lock()
+				for _, dd := range c.got {
+					got = append(got, dd.StoreSeq)
+				}
+				c.mu.Unlock()
+				want := []uint64{65537, 65538, 65539, 65540, 65541}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("delivery order %v, want %v (replay first, held flushed minus floor dup)", got, want)
+				}
+			})
+		}
+	}
+}

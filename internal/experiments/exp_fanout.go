@@ -83,109 +83,130 @@ func runE18(cfg Config) (*Table, error) {
 	}
 
 	for _, procs := range procsSweep {
-		prev := runtime.GOMAXPROCS(procs)
-		d := core.New(core.Config{
-			Secret: []byte("e18"),
-			Dispatch: dispatch.Options{
-				Mode:          dispatch.ModeAsync,
-				QueueCapacity: capacity,
-			},
-			Store: store.Options{MaxMessages: capacity},
-		})
-
-		streams := make([]wire.StreamID, publishers)
-		for i := range streams {
-			streams[i] = wire.MustStreamID(wire.SensorID(i+1), 0)
+		r, err := runFanStorm(procs, 0, publishers, standing, joiners, msgsPer, capacity)
+		if err != nil {
+			return nil, err
 		}
-		base := time.Now()
-		publish := func(i, seq int) {
-			var payload [8]byte
-			binary.LittleEndian.PutUint64(payload[:], uint64(time.Since(base)))
-			var msg wire.Message
-			out := wire.Message{Stream: streams[i], Seq: wire.Seq(seq), Payload: payload[:]}
-			frame, err := out.Encode()
-			if err != nil {
-				panic(err)
-			}
-			if _, err := wire.DecodeMessageBorrowed(frame, &msg); err != nil {
-				panic(err)
-			}
-			d.InjectReception(receiver.Reception{
-				Msg: msg, Receiver: fmt.Sprintf("rx%d", i), RSSI: 1,
-				At: epoch, Borrowed: true,
-			})
+		if r.violations > 0 {
+			return nil, fmt.Errorf("E18: %d ordering violations at GOMAXPROCS=%d", r.violations, procs)
 		}
-
-		consumers := make([]*fanConsumer, 0, standing+joiners)
-		for n := 0; n < standing; n++ {
-			c := &fanConsumer{name: fmt.Sprintf("fan-%d", n), base: base}
-			consumers = append(consumers, c)
-			if _, err := d.Dispatcher().Subscribe(c, dispatch.Exact(streams[n%publishers])); err != nil {
-				return nil, err
-			}
-		}
-		d.Start()
-
-		start := time.Now()
-		var published atomic.Int64
-		var pubWG sync.WaitGroup
-		for i := 0; i < publishers; i++ {
-			pubWG.Add(1)
-			go func(i int) {
-				defer pubWG.Done()
-				for seq := 0; seq < msgsPer; seq++ {
-					publish(i, seq)
-					published.Add(1)
-				}
-			}(i)
-		}
-
-		// Late joiners storm in once the publishers are warmed up; each
-		// replays the retained backlog through the same port that then
-		// hands off to live deliveries.
-		late := make([]*fanConsumer, joiners)
-		var joinWG sync.WaitGroup
-		for j := 0; j < joiners; j++ {
-			joinWG.Add(1)
-			go func(j int) {
-				defer joinWG.Done()
-				for published.Load() < int64(publishers*msgsPer/4) {
-					runtime.Gosched()
-				}
-				c := &fanConsumer{name: fmt.Sprintf("late-%d", j)}
-				late[j] = c
-				if _, _, err := d.SubscribeWithReplay(c, streams[j%publishers], 0); err != nil {
-					panic(err)
-				}
-			}(j)
-		}
-		pubWG.Wait()
-		joinWG.Wait()
-		consumers = append(consumers, late...)
-		d.Stop()
-		elapsed := time.Since(start)
-		runtime.GOMAXPROCS(prev)
-
-		delivered, violations := 0, 0
-		var lat metrics.Histogram
-		for _, c := range consumers {
-			c.mu.Lock()
-			delivered += c.got
-			violations += c.violate
-			lat.Merge(&c.lat)
-			c.mu.Unlock()
-		}
-		if violations > 0 {
-			return nil, fmt.Errorf("E18: %d ordering violations at GOMAXPROCS=%d", violations, procs)
-		}
-		t.AddRow(procs, publishers, standing, joiners, delivered,
-			fmt.Sprintf("%.0f", float64(delivered)/elapsed.Seconds()),
-			fmt.Sprintf("%.1f", lat.Percentile(99)/1e3),
-			violations)
+		t.AddRow(procs, publishers, standing, joiners, r.delivered,
+			fmt.Sprintf("%.0f", float64(r.delivered)/r.elapsed.Seconds()),
+			fmt.Sprintf("%.1f", r.lat.Percentile(99)/1e3),
+			r.violations)
 	}
 	t.Notes = append(t.Notes,
 		"standing consumers ride the lock-free delivery ring; joiners subscribe mid-storm with SubscribeWithReplay, pinning the ring↔locked hand-off",
 		"p99 is live enqueue→consume latency from a payload timestamp; replayed history is excluded so retention delay does not skew it",
 		"violations counts per-consumer StoreSeq duplicates or inversions — must be 0")
 	return t, nil
+}
+
+// stormResult is one fan-out storm run's aggregate outcome.
+type stormResult struct {
+	delivered  int
+	violations int
+	elapsed    time.Duration
+	lat        metrics.Histogram
+}
+
+// runFanStorm drives one fan-out storm: M publishers push the full
+// receive pipeline into N standing async consumers while late joiners
+// storm in mid-run with SubscribeWithReplay. batch selects the
+// deployment's ingest batch size (0 or 1 is the serial per-message
+// path); everything else about the workload is identical, which is what
+// lets E19 attribute its deltas to batching alone.
+func runFanStorm(procs, batch, publishers, standing, joiners, msgsPer, capacity int) (*stormResult, error) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	d := core.New(core.Config{
+		Secret:      []byte("e18"),
+		IngestBatch: batch,
+		Dispatch: dispatch.Options{
+			Mode:          dispatch.ModeAsync,
+			QueueCapacity: capacity,
+		},
+		Store: store.Options{MaxMessages: capacity},
+	})
+
+	streams := make([]wire.StreamID, publishers)
+	for i := range streams {
+		streams[i] = wire.MustStreamID(wire.SensorID(i+1), 0)
+	}
+	base := time.Now()
+	publish := func(i, seq int) {
+		var payload [8]byte
+		binary.LittleEndian.PutUint64(payload[:], uint64(time.Since(base)))
+		var msg wire.Message
+		out := wire.Message{Stream: streams[i], Seq: wire.Seq(seq), Payload: payload[:]}
+		frame, err := out.Encode()
+		if err != nil {
+			panic(err)
+		}
+		if _, err := wire.DecodeMessageBorrowed(frame, &msg); err != nil {
+			panic(err)
+		}
+		d.InjectReception(receiver.Reception{
+			Msg: msg, Receiver: fmt.Sprintf("rx%d", i), RSSI: 1,
+			At: epoch, Borrowed: true,
+		})
+	}
+
+	consumers := make([]*fanConsumer, 0, standing+joiners)
+	for n := 0; n < standing; n++ {
+		c := &fanConsumer{name: fmt.Sprintf("fan-%d", n), base: base}
+		consumers = append(consumers, c)
+		if _, err := d.Dispatcher().Subscribe(c, dispatch.Exact(streams[n%publishers])); err != nil {
+			return nil, err
+		}
+	}
+	d.Start()
+
+	start := time.Now()
+	var published atomic.Int64
+	var pubWG sync.WaitGroup
+	for i := 0; i < publishers; i++ {
+		pubWG.Add(1)
+		go func(i int) {
+			defer pubWG.Done()
+			for seq := 0; seq < msgsPer; seq++ {
+				publish(i, seq)
+				published.Add(1)
+			}
+		}(i)
+	}
+
+	// Late joiners storm in once the publishers are warmed up; each
+	// replays the retained backlog through the same port that then
+	// hands off to live deliveries.
+	late := make([]*fanConsumer, joiners)
+	var joinWG sync.WaitGroup
+	for j := 0; j < joiners; j++ {
+		joinWG.Add(1)
+		go func(j int) {
+			defer joinWG.Done()
+			for published.Load() < int64(publishers*msgsPer/4) {
+				runtime.Gosched()
+			}
+			c := &fanConsumer{name: fmt.Sprintf("late-%d", j)}
+			late[j] = c
+			if _, _, err := d.SubscribeWithReplay(c, streams[j%publishers], 0); err != nil {
+				panic(err)
+			}
+		}(j)
+	}
+	pubWG.Wait()
+	joinWG.Wait()
+	consumers = append(consumers, late...)
+	d.Stop()
+	r := &stormResult{elapsed: time.Since(start)}
+
+	for _, c := range consumers {
+		c.mu.Lock()
+		r.delivered += c.got
+		r.violations += c.violate
+		r.lat.Merge(&c.lat)
+		c.mu.Unlock()
+	}
+	return r, nil
 }

@@ -131,6 +131,7 @@ func All() []Experiment {
 		{"E16", "Demand storm: sharded control plane under churn", runE16},
 		{"E17", "Late-joiner storm: replay catch-up under live load", runE17},
 		{"E18", "Async fan-out storm: lock-free delivery rings under load", runE18},
+		{"E19", "Batched ingest: fan-out storm vs ingest batch size", runE19},
 		{"X1", "Multi-hop relaying — §8 future-work extension", runX1},
 	}
 }

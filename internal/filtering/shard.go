@@ -68,6 +68,12 @@ func (f *Filter) shardFor(id wire.StreamID) *shard {
 	return f.shards[id.Sensor().Shard(len(f.shards))]
 }
 
+// shardIndexFor is shardFor returning the index, for IngestBatch's
+// grouping scratch.
+func (f *Filter) shardIndexFor(id wire.StreamID) uint32 {
+	return uint32(id.Sensor().Shard(len(f.shards)))
+}
+
 // lookupSlowLocked finds or creates the stream's filter state on a
 // single-entry-cache miss and refreshes the cache. Caller holds sh.mu;
 // the cache-hit path lives inline in Ingest.
@@ -100,4 +106,24 @@ func putDeliverySlice(p *[]Delivery) {
 	clear(*p)
 	*p = (*p)[:0]
 	deliverySlices.Put(p)
+}
+
+// shardIndexSlices pools IngestBatch's grouping scratch (one shard
+// index per reception), so batched ingest allocates nothing at steady
+// state.
+var shardIndexSlices = sync.Pool{
+	New: func() any { return new([]uint32) },
+}
+
+func getShardIndexSlice(n int) *[]uint32 {
+	p := shardIndexSlices.Get().(*[]uint32)
+	if cap(*p) < n {
+		*p = make([]uint32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putShardIndexSlice(p *[]uint32) {
+	shardIndexSlices.Put(p)
 }

@@ -2,9 +2,12 @@
 // `garnet-bench -perf`: it sweeps {table shards} × {GOMAXPROCS} over the
 // hot paths the sharding era restructured — dispatch fan-out, the
 // ingest→dispatch pipeline, the store tee and the control submit — plus
-// the lock-free delivery ring against its retained mutex-queue twin, and
-// emits schema-stable BENCH_dispatch.json and BENCH_pipeline.json so the
-// perf trajectory of future PRs is measured, not asserted.
+// the lock-free delivery ring against its retained mutex-queue twin and
+// the batched ingest paths (multi-slot ring claims, shard-run store
+// appends, the shard-grouped batched pipeline) swept across batch
+// sizes, and emits schema-stable BENCH_dispatch.json and
+// BENCH_pipeline.json so the perf trajectory of future PRs is
+// measured, not asserted.
 //
 // Numbers are wall-clock and therefore host-dependent; the reports
 // record GOMAXPROCS, the host CPU count and the date so a reader can
@@ -36,13 +39,59 @@ import (
 // in the README, because re-anchor tooling diffs these files across PRs.
 const Schema = "garnet-bench-perf/v1"
 
-// zeroAllocPaths are the paths Validate holds to 0 allocs/op (a small
-// tolerance absorbs runtime background allocations that land inside the
-// measurement window).
-var zeroAllocPaths = map[string]bool{
-	"ring_enqueue_drain": true,
-	"store_tee":          true,
-	"control_submit":     true,
+// A scenario is one named sweep of the harness. The registry below is
+// the single source of truth for the scenario list: Run executes it in
+// order, Validate derives the 0-alloc bars from it, and Scenarios
+// exposes it to cmd/garnet-bench and the harness tests — which
+// previously duplicated the quick/full scenario lists as literals and
+// let them drift.
+type scenario struct {
+	name string
+	area string // which BENCH_*.json report the results land in
+	// zeroAlloc holds the scenario's cells to 0 allocs/op, except cells
+	// marked variant "serial": those run today's per-message comparator
+	// path, which allocates by design.
+	zeroAlloc bool
+	run       func(o Options, emit func(Result))
+}
+
+var registry = []scenario{
+	{"dispatch", "dispatch", false, runDispatch},
+	{"fanin", "dispatch", false, runFanin},
+	{"ring_enqueue_drain", "dispatch", true, runRingEnqueueDrain},
+	{"ring_enqueue_n", "dispatch", true, runRingEnqueueN},
+	{"pipeline", "pipeline", false, runPipeline},
+	{"pipeline_batched", "pipeline", true, runPipelineBatched},
+	{"store_tee", "pipeline", true, runStoreTee},
+	{"store_append_batch", "pipeline", true, runStoreAppendBatch},
+	{"control_submit", "pipeline", true, runControlSubmit},
+}
+
+func scenarioByName(name string) (scenario, bool) {
+	for _, sc := range registry {
+		if sc.name == name {
+			return sc, true
+		}
+	}
+	return scenario{}, false
+}
+
+// ScenarioInfo describes one registered scenario.
+type ScenarioInfo struct {
+	Name      string
+	Area      string
+	ZeroAlloc bool
+}
+
+// Scenarios lists the registered scenarios in execution order. Every
+// derived scenario list (the `garnet-bench -perf` listing, the report
+// tests) must come from here rather than a hand-maintained literal.
+func Scenarios() []ScenarioInfo {
+	out := make([]ScenarioInfo, len(registry))
+	for i, sc := range registry {
+		out[i] = ScenarioInfo{Name: sc.name, Area: sc.area, ZeroAlloc: sc.zeroAlloc}
+	}
+	return out
 }
 
 // AllocTolerance is the allocs/op ceiling for zeroAllocPaths.
@@ -55,6 +104,7 @@ type Result struct {
 	Shards      int     `json:"shards"`
 	Procs       int     `json:"procs"` // GOMAXPROCS during the cell
 	Publishers  int     `json:"publishers"`
+	Batch       int     `json:"batch,omitempty"` // ingest batch size on batched scenarios
 	Msgs        int     `json:"msgs"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
@@ -102,6 +152,13 @@ func (o Options) procSweep() []int {
 		return []int{1, 4}
 	}
 	return []int{1, 2, 4, 8}
+}
+
+// batchSweep is the ingest batch sizes the batched scenarios sweep.
+// batch=1 is the serial comparator cell, so every batched report
+// carries its own baseline.
+func (o Options) batchSweep() []int {
+	return []int{1, 8, 64}
 }
 
 func (o Options) msgs() int {
@@ -153,6 +210,33 @@ func fanOut(publishers, msgs int, emit func(p, i int)) {
 			defer wg.Done()
 			for i := 0; i < n; i++ {
 				emit(p, i)
+			}
+		}(p, n)
+	}
+	wg.Wait()
+}
+
+// fanOutBatches runs publishers goroutines, splitting msgs between
+// them; each goroutine calls emit(p, start, n) once per run of up to
+// batch messages, where start is the run's first message index within
+// publisher p's share (the final run may be shorter).
+func fanOutBatches(publishers, msgs, batch int, emit func(p, start, n int)) {
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		n := msgs / publishers
+		if p < msgs%publishers {
+			n++
+		}
+		wg.Add(1)
+		go func(p, n int) {
+			defer wg.Done()
+			for sent := 0; sent < n; {
+				b := batch
+				if n-sent < b {
+					b = n - sent
+				}
+				emit(p, sent, b)
+				sent += b
 			}
 		}(p, n)
 	}
@@ -274,6 +358,71 @@ func benchRingEnqueueDrain(procs, msgs int) Result {
 	return res
 }
 
+// benchRingEnqueueN is the multi-slot claim primitive behind batched
+// dispatch: publishers claim runs of up to batch slots per TryEnqueueN
+// call (one CAS per admitted run) while a drainer batch-consumes
+// behind a Waiter. This path must stay at 0 allocs/op — Validate
+// enforces it.
+func benchRingEnqueueN(batch, procs, msgs int) Result {
+	r := ring.New[filtering.Delivery](8192)
+	w := ring.NewWaiter()
+	var drained int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]filtering.Delivery, 64)
+		for drained < msgs {
+			n := r.DequeueBatch(buf)
+			drained += n
+			if n > 0 {
+				continue
+			}
+			w.Prepare()
+			if !r.Empty() {
+				w.Cancel()
+				continue
+			}
+			w.Wait()
+		}
+	}()
+	del := filtering.Delivery{Msg: wire.Message{Stream: wire.MustStreamID(1, 0)}}
+	vals := make([][]filtering.Delivery, publishers)
+	for p := range vals {
+		vals[p] = make([]filtering.Delivery, batch)
+		for i := range vals[p] {
+			vals[p][i] = del
+		}
+	}
+	res := measure("ring_enqueue_n", "", 1, procs, publishers, msgs, func() {
+		fanOutBatches(publishers, msgs, batch, func(p, start, b int) {
+			vs := vals[p][:b]
+			for off := 0; off < b; {
+				k := r.TryEnqueueN(vs[off:])
+				if k == 0 {
+					r.TryDequeue() // drop-oldest, so the producer never stalls
+					continue
+				}
+				off += k
+			}
+			w.Wake()
+		})
+		// Producers may have dropped entries; top the drainer up so it
+		// always reaches msgs and exits.
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				r.TryEnqueue(del)
+				w.Wake()
+			}
+		}
+	})
+	res.Batch = batch
+	<-done
+	return res
+}
+
 // benchPipeline is ingest→dispatch end to end: receptions enter the
 // filter (duplicate screening, per-stream state) and accepted
 // deliveries fan out through the dispatcher, both tables at the swept
@@ -303,6 +452,62 @@ func benchPipeline(shards, procs, msgs int) Result {
 	})
 }
 
+// benchPipelineBatched is the batched ingest→dispatch pipeline: each
+// publisher ingests runs of batch receptions on its own stream through
+// Filter.IngestBatch, with the filter's BatchSink feeding
+// Dispatcher.DispatchBatch, so the whole shard-grouped chain (one
+// filter-shard lock per batch, one wildcard snapshot and one
+// subscriber resolution per stream run) sits inside the measured
+// window. The batch=1 cell is the serial comparator: it runs today's
+// per-message Ingest→Dispatch path under variant "serial", which is
+// exempt from the 0-alloc bar (serial Dispatch builds its target slice
+// per message by design); batched cells must not allocate.
+func benchPipelineBatched(batch, shards, procs, msgs int) Result {
+	d := dispatch.New(dispatch.Options{Shards: shards})
+	streams := make([]wire.StreamID, publishers)
+	for i := range streams {
+		streams[i] = wire.MustStreamID(wire.SensorID(i+1), 0)
+		if _, err := d.Subscribe(&dispatch.ConsumerFunc{
+			ConsumerName: fmt.Sprintf("c%d", i),
+			Fn:           func(filtering.Delivery) {},
+		}, dispatch.Exact(streams[i])); err != nil {
+			panic(err)
+		}
+	}
+	variant := "batched"
+	fopts := filtering.Options{Shards: shards}
+	if batch > 1 {
+		fopts.BatchSink = d.DispatchBatch
+	} else {
+		variant = "serial"
+	}
+	f := filtering.New(d.Dispatch, fopts)
+	for p := range streams {
+		f.Ingest(receiver.Reception{Msg: wire.Message{Stream: streams[p], Seq: 0}})
+	}
+	bufs := make([][]receiver.Reception, publishers)
+	for p := range bufs {
+		bufs[p] = make([]receiver.Reception, batch)
+	}
+	res := measure("pipeline_batched", variant, shards, procs, publishers, msgs, func() {
+		fanOutBatches(publishers, msgs, batch, func(p, start, b int) {
+			buf := bufs[p][:b]
+			for i := range buf {
+				buf[i] = receiver.Reception{
+					Msg: wire.Message{Stream: streams[p], Seq: wire.Seq(start + i + 1)},
+				}
+			}
+			if batch > 1 {
+				f.IngestBatch(buf)
+			} else {
+				f.Ingest(buf[0])
+			}
+		})
+	})
+	res.Batch = batch
+	return res
+}
+
 // benchStoreTee is the retention tee: every publisher appends to its own
 // stream. Steady-state Append is a 0-alloc path — Validate enforces it.
 func benchStoreTee(shards, procs, msgs int) Result {
@@ -326,6 +531,43 @@ func benchStoreTee(shards, procs, msgs int) Result {
 			})
 		})
 	})
+}
+
+// benchStoreAppendBatch is the retention tee through the batched API:
+// every publisher appends runs of batch deliveries to its own stream
+// via AppendBatch — one shard lock per run, StoreSeq stamped in place.
+// Steady state must stay at 0 allocs/op — Validate enforces it.
+func benchStoreAppendBatch(batch, shards, procs, msgs int) Result {
+	st := store.New(store.Options{Shards: shards, MaxMessages: 1024})
+	streams := make([]wire.StreamID, publishers)
+	for i := range streams {
+		streams[i] = wire.MustStreamID(wire.SensorID(i+1), 0)
+	}
+	// Warm per-stream rings past their growth phase.
+	for p := range streams {
+		for i := 0; i < 2048; i++ {
+			st.Append(filtering.Delivery{
+				Msg: wire.Message{Stream: streams[p], Seq: wire.Seq(i)},
+			})
+		}
+	}
+	bufs := make([][]filtering.Delivery, publishers)
+	for p := range bufs {
+		bufs[p] = make([]filtering.Delivery, batch)
+	}
+	res := measure("store_append_batch", "", shards, procs, publishers, msgs, func() {
+		fanOutBatches(publishers, msgs, batch, func(p, start, b int) {
+			buf := bufs[p][:b]
+			for i := range buf {
+				buf[i] = filtering.Delivery{
+					Msg: wire.Message{Stream: streams[p], Seq: wire.Seq(2048 + start + i)},
+				}
+			}
+			st.AppendBatch(buf)
+		})
+	})
+	res.Batch = batch
+	return res
 }
 
 // benchControlSubmit is the return path's approved-no-change fast path:
@@ -353,8 +595,84 @@ func benchControlSubmit(shards, procs, msgs int) Result {
 	})
 }
 
-// Run executes the full sweep and returns the two reports in
-// BENCH_dispatch.json, BENCH_pipeline.json order.
+// Per-scenario sweeps, one wrapper per registry entry.
+
+func runDispatch(o Options, emit func(Result)) {
+	for _, shards := range o.shardSweep() {
+		for _, procs := range o.procSweep() {
+			emit(benchDispatch(shards, procs, o.msgs()))
+		}
+	}
+}
+
+func runFanin(o Options, emit func(Result)) {
+	for _, variant := range []string{"ring", "mutex"} {
+		for _, procs := range o.procSweep() {
+			emit(benchFanin(variant, procs, o.msgs()))
+		}
+	}
+}
+
+func runRingEnqueueDrain(o Options, emit func(Result)) {
+	for _, procs := range o.procSweep() {
+		emit(benchRingEnqueueDrain(procs, o.msgs()))
+	}
+}
+
+func runRingEnqueueN(o Options, emit func(Result)) {
+	for _, batch := range o.batchSweep() {
+		for _, procs := range o.procSweep() {
+			emit(benchRingEnqueueN(batch, procs, o.msgs()))
+		}
+	}
+}
+
+func runPipeline(o Options, emit func(Result)) {
+	for _, shards := range o.shardSweep() {
+		for _, procs := range o.procSweep() {
+			emit(benchPipeline(shards, procs, o.msgs()))
+		}
+	}
+}
+
+func runPipelineBatched(o Options, emit func(Result)) {
+	for _, batch := range o.batchSweep() {
+		for _, shards := range o.shardSweep() {
+			for _, procs := range o.procSweep() {
+				emit(benchPipelineBatched(batch, shards, procs, o.msgs()))
+			}
+		}
+	}
+}
+
+func runStoreTee(o Options, emit func(Result)) {
+	for _, shards := range o.shardSweep() {
+		for _, procs := range o.procSweep() {
+			emit(benchStoreTee(shards, procs, o.msgs()))
+		}
+	}
+}
+
+func runStoreAppendBatch(o Options, emit func(Result)) {
+	for _, batch := range o.batchSweep() {
+		for _, shards := range o.shardSweep() {
+			for _, procs := range o.procSweep() {
+				emit(benchStoreAppendBatch(batch, shards, procs, o.msgs()))
+			}
+		}
+	}
+}
+
+func runControlSubmit(o Options, emit func(Result)) {
+	for _, shards := range o.shardSweep() {
+		for _, procs := range o.procSweep() {
+			emit(benchControlSubmit(shards, procs, o.msgs()))
+		}
+	}
+}
+
+// Run executes every registered scenario in order and returns the two
+// reports in BENCH_dispatch.json, BENCH_pipeline.json order.
 func Run(opts Options) (dispatchReport, pipelineReport Report) {
 	newReport := func(area string) Report {
 		return Report{
@@ -366,50 +684,26 @@ func Run(opts Options) (dispatchReport, pipelineReport Report) {
 			Quick:    opts.Quick,
 		}
 	}
-	msgs := opts.msgs()
-
 	dr := newReport("dispatch")
-	for _, shards := range opts.shardSweep() {
-		for _, procs := range opts.procSweep() {
-			res := benchDispatch(shards, procs, msgs)
-			opts.logf("%s shards=%d procs=%d: %.0f ns/op, %.2f Mmsg/s", res.Path, shards, procs, res.NsPerOp, res.MsgsPerSec/1e6)
-			dr.Results = append(dr.Results, res)
-		}
-	}
-	for _, variant := range []string{"ring", "mutex"} {
-		for _, procs := range opts.procSweep() {
-			res := benchFanin(variant, procs, msgs)
-			opts.logf("%s/%s procs=%d: %.0f ns/op, %.2f Mmsg/s", res.Path, variant, procs, res.NsPerOp, res.MsgsPerSec/1e6)
-			dr.Results = append(dr.Results, res)
-		}
-	}
-	for _, procs := range opts.procSweep() {
-		res := benchRingEnqueueDrain(procs, msgs)
-		opts.logf("%s procs=%d: %.0f ns/op, %.3f allocs/op", res.Path, procs, res.NsPerOp, res.AllocsPerOp)
-		dr.Results = append(dr.Results, res)
-	}
-
 	pr := newReport("pipeline")
-	for _, shards := range opts.shardSweep() {
-		for _, procs := range opts.procSweep() {
-			res := benchPipeline(shards, procs, msgs)
-			opts.logf("%s shards=%d procs=%d: %.0f ns/op, %.2f Mmsg/s", res.Path, shards, procs, res.NsPerOp, res.MsgsPerSec/1e6)
-			pr.Results = append(pr.Results, res)
+	for _, sc := range registry {
+		rep := &dr
+		if sc.area == "pipeline" {
+			rep = &pr
 		}
-	}
-	for _, shards := range opts.shardSweep() {
-		for _, procs := range opts.procSweep() {
-			res := benchStoreTee(shards, procs, msgs)
-			opts.logf("%s shards=%d procs=%d: %.0f ns/op, %.3f allocs/op", res.Path, shards, procs, res.NsPerOp, res.AllocsPerOp)
-			pr.Results = append(pr.Results, res)
-		}
-	}
-	for _, shards := range opts.shardSweep() {
-		for _, procs := range opts.procSweep() {
-			res := benchControlSubmit(shards, procs, msgs)
-			opts.logf("%s shards=%d procs=%d: %.0f ns/op, %.3f allocs/op", res.Path, shards, procs, res.NsPerOp, res.AllocsPerOp)
-			pr.Results = append(pr.Results, res)
-		}
+		sc.run(opts, func(res Result) {
+			cell := res.Path
+			if res.Variant != "" {
+				cell += "/" + res.Variant
+			}
+			batch := ""
+			if res.Batch > 0 {
+				batch = fmt.Sprintf(" batch=%d", res.Batch)
+			}
+			opts.logf("%s shards=%d procs=%d%s: %.0f ns/op, %.2f Mmsg/s, %.3f allocs/op",
+				cell, res.Shards, res.Procs, batch, res.NsPerOp, res.MsgsPerSec/1e6, res.AllocsPerOp)
+			rep.Results = append(rep.Results, res)
+		})
 	}
 	return dr, pr
 }
@@ -432,12 +726,67 @@ func Validate(r Report) error {
 		if res.NsPerOp <= 0 || res.MsgsPerSec <= 0 {
 			return fmt.Errorf("non-positive timing in result: %+v", res)
 		}
-		if zeroAllocPaths[res.Path] && res.AllocsPerOp > AllocTolerance {
-			return fmt.Errorf("path %s (shards=%d procs=%d) allocates %.3f/op, bar is %.2f",
-				res.Path, res.Shards, res.Procs, res.AllocsPerOp, AllocTolerance)
+		sc, known := scenarioByName(res.Path)
+		if !known {
+			return fmt.Errorf("result path %q is not a registered scenario", res.Path)
+		}
+		// Variant "serial" marks a batched scenario's per-message
+		// comparator cell; that path allocates by design.
+		if sc.zeroAlloc && res.Variant != "serial" && res.AllocsPerOp > AllocTolerance {
+			return fmt.Errorf("path %s (shards=%d procs=%d batch=%d) allocates %.3f/op, bar is %.2f",
+				res.Path, res.Shards, res.Procs, res.Batch, res.AllocsPerOp, AllocTolerance)
 		}
 	}
 	return nil
+}
+
+// Delta is one matched cell of Compare: msgs/s for the same scenario
+// cell in a baseline report and a fresh run.
+type Delta struct {
+	Key      string  // "path[/variant] shards=S procs=P[ batch=B]"
+	Baseline float64 // baseline msgs/s
+	Current  float64 // fresh msgs/s
+	Pct      float64 // 100 * (Current - Baseline) / Baseline
+}
+
+func cellKey(res Result) string {
+	key := res.Path
+	if res.Variant != "" {
+		key += "/" + res.Variant
+	}
+	key += fmt.Sprintf(" shards=%d procs=%d", res.Shards, res.Procs)
+	if res.Batch > 0 {
+		key += fmt.Sprintf(" batch=%d", res.Batch)
+	}
+	return key
+}
+
+// Compare matches every cell of current against baseline by scenario
+// key and reports the msgs/s delta for cells present in both, in
+// current-report order. Cells only one side has (new scenarios,
+// changed sweeps) are skipped, so a baseline committed by an older
+// revision stays usable. Message counts are deliberately not part of
+// the key: comparing a -quick run against a full baseline is allowed,
+// the deltas are just noisier.
+func Compare(baseline, current Report) []Delta {
+	base := make(map[string]Result, len(baseline.Results))
+	for _, res := range baseline.Results {
+		base[cellKey(res)] = res
+	}
+	var out []Delta
+	for _, res := range current.Results {
+		b, ok := base[cellKey(res)]
+		if !ok || b.MsgsPerSec <= 0 {
+			continue
+		}
+		out = append(out, Delta{
+			Key:      cellKey(res),
+			Baseline: b.MsgsPerSec,
+			Current:  res.MsgsPerSec,
+			Pct:      100 * (res.MsgsPerSec - b.MsgsPerSec) / b.MsgsPerSec,
+		})
+	}
+	return out
 }
 
 // WriteReports runs the sweep, validates both reports and writes

@@ -13,14 +13,24 @@ func TestWriteReportsQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("perf sweep in -short mode")
 	}
+	if raceEnabled {
+		t.Skip("race runtime drops sync.Pool puts, failing the 0-alloc bars")
+	}
 	dir := t.TempDir()
 	dp, pp, err := WriteReports(Options{Quick: true, OutDir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantPaths := map[string][]string{
-		dp: {"dispatch", "fanin", "ring_enqueue_drain"},
-		pp: {"pipeline", "store_tee", "control_submit"},
+	// The expected path set per report is derived from the scenario
+	// registry, never duplicated as literals: the registry is the single
+	// source of truth for what a sweep runs.
+	wantPaths := map[string]map[string]bool{dp: {}, pp: {}}
+	for _, sc := range Scenarios() {
+		file := dp
+		if sc.Area == "pipeline" {
+			file = pp
+		}
+		wantPaths[file][sc.Name] = true
 	}
 	for file, paths := range wantPaths {
 		data, err := os.ReadFile(file)
@@ -38,14 +48,74 @@ func TestWriteReportsQuick(t *testing.T) {
 		for _, res := range r.Results {
 			seen[res.Path] = true
 		}
-		for _, p := range paths {
+		for p := range paths {
 			if !seen[p] {
 				t.Fatalf("%s: path %q missing from results", file, p)
+			}
+		}
+		for p := range seen {
+			if !paths[p] {
+				t.Fatalf("%s: path %q emitted but not registered for this area", file, p)
 			}
 		}
 		if !r.Quick {
 			t.Fatalf("%s: quick flag not recorded", file)
 		}
+	}
+}
+
+// TestScenarioRegistry pins the scenario list cmd/garnet-bench and the
+// reports derive from: adding, removing or renaming a scenario (or
+// moving its 0-alloc bar) must be a deliberate edit here too.
+func TestScenarioRegistry(t *testing.T) {
+	want := []ScenarioInfo{
+		{"dispatch", "dispatch", false},
+		{"fanin", "dispatch", false},
+		{"ring_enqueue_drain", "dispatch", true},
+		{"ring_enqueue_n", "dispatch", true},
+		{"pipeline", "pipeline", false},
+		{"pipeline_batched", "pipeline", true},
+		{"store_tee", "pipeline", true},
+		{"store_append_batch", "pipeline", true},
+		{"control_submit", "pipeline", true},
+	}
+	got := Scenarios()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d scenarios, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scenario %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCompare pins baseline matching: cells pair up by scenario key,
+// unmatched cells are skipped, and the delta is a msgs/s percentage.
+func TestCompare(t *testing.T) {
+	mk := func(path, variant string, batch int, msgs float64) Result {
+		return Result{Path: path, Variant: variant, Shards: 4, Procs: 4,
+			Publishers: 16, Batch: batch, Msgs: 100, NsPerOp: 10, MsgsPerSec: msgs}
+	}
+	baseline := Report{Results: []Result{
+		mk("pipeline", "", 0, 1e6),
+		mk("pipeline_batched", "batched", 64, 2e6),
+		mk("fanin", "mutex", 0, 5e5), // not in current: must be skipped
+	}}
+	current := Report{Results: []Result{
+		mk("pipeline", "", 0, 1.1e6),
+		mk("pipeline_batched", "batched", 64, 1e6),
+		mk("ring_enqueue_n", "", 8, 9e6), // not in baseline: must be skipped
+	}}
+	ds := Compare(baseline, current)
+	if len(ds) != 2 {
+		t.Fatalf("got %d deltas, want 2: %+v", len(ds), ds)
+	}
+	if ds[0].Key != "pipeline shards=4 procs=4" || ds[0].Pct < 9.9 || ds[0].Pct > 10.1 {
+		t.Fatalf("pipeline delta wrong: %+v", ds[0])
+	}
+	if ds[1].Key != "pipeline_batched/batched shards=4 procs=4 batch=64" || ds[1].Pct != -50 {
+		t.Fatalf("batched delta wrong: %+v", ds[1])
 	}
 }
 

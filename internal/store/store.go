@@ -381,6 +381,37 @@ func (r *ring) presentLocked(ext uint64) bool {
 func (s *Store) Append(d filtering.Delivery) uint64 {
 	sh := s.shardFor(d.Msg.Stream)
 	sh.mu.Lock()
+	ext := s.appendLocked(sh, d)
+	sh.mu.Unlock()
+	return ext
+}
+
+// AppendBatch retains a run of deliveries and stamps each delivery's
+// StoreSeq in place, taking each home shard's mutex once per
+// consecutive same-shard run instead of once per delivery. Unwrap,
+// window advance, seal and eviction decisions are identical to len(ds)
+// serial Append calls (both paths run appendLocked). Payloads are
+// copied into store-owned memory as always; the caller may reuse ds
+// and its payloads immediately.
+func (s *Store) AppendBatch(ds []filtering.Delivery) {
+	for i := 0; i < len(ds); {
+		sh := s.shardFor(ds[i].Msg.Stream)
+		j := i + 1
+		for j < len(ds) && s.shardFor(ds[j].Msg.Stream) == sh {
+			j++
+		}
+		sh.mu.Lock()
+		for k := i; k < j; k++ {
+			ds[k].StoreSeq = s.appendLocked(sh, ds[k])
+		}
+		sh.mu.Unlock()
+		i = j
+	}
+}
+
+// appendLocked is the per-delivery retention step shared by Append and
+// AppendBatch. Caller holds sh.mu.
+func (s *Store) appendLocked(sh *shard, d filtering.Delivery) uint64 {
 	sh.appended++
 	r := sh.last
 	if r == nil || sh.lastID != d.Msg.Stream {
@@ -400,7 +431,6 @@ func (s *Store) Append(d filtering.Delivery) uint64 {
 
 	if r.count > 0 && ext < r.minExt {
 		sh.droppedBehind++
-		sh.mu.Unlock()
 		return ext
 	}
 
@@ -472,7 +502,6 @@ func (s *Store) Append(d filtering.Delivery) uint64 {
 			s.retireLowestLocked(sh, r, &sh.evictedAge)
 		}
 	}
-	sh.mu.Unlock()
 	return ext
 }
 
