@@ -545,6 +545,18 @@ func BenchmarkE18AsyncFanoutStorm(b *testing.B) { benchExperiment(b, "E18") }
 // must stay 0 at every batch size).
 func BenchmarkE19BatchedIngestStorm(b *testing.B) { benchExperiment(b, "E19") }
 
+// BenchmarkE20ChurnStorm regenerates the churn-residue table (cohort and
+// subscription churn must leave no timers, streams, orphans or subs).
+func BenchmarkE20ChurnStorm(b *testing.B) { benchExperiment(b, "E20") }
+
+// BenchmarkE21RadioPartition regenerates the partition-accounting table
+// (sent must reconcile exactly against delivered plus unrecovered gaps).
+func BenchmarkE21RadioPartition(b *testing.B) { benchExperiment(b, "E21") }
+
+// BenchmarkE22SlowConsumer regenerates the backpressure table (a stalled
+// consumer sheds exactly per policy; healthy consumers lose nothing).
+func BenchmarkE22SlowConsumer(b *testing.B) { benchExperiment(b, "E22") }
+
 // BenchmarkE16DemandStorm regenerates the control-plane demand-storm
 // table (concurrent consumers churning demands plus live data traffic).
 func BenchmarkE16DemandStorm(b *testing.B) { benchExperiment(b, "E16") }

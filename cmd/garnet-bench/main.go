@@ -8,9 +8,19 @@
 //	garnet-bench -quick           # reduced sweeps (smoke run)
 //	garnet-bench -seed 7          # change the deterministic seed
 //	garnet-bench -perf            # multicore perf sweep → BENCH_*.json
+//	garnet-bench -perf -scenario store_tee
+//	                              # one registry scenario (local iteration)
 //	garnet-bench -perf -baseline BENCH_pipeline.json
 //	                              # ...and diff the fresh run against a
 //	                              # committed report, per-scenario msgs/s
+//	garnet-bench -perf -baseline BENCH_pipeline.json -max-regress 10
+//	                              # ...and exit non-zero when any cell
+//	                              # regresses more than 10% (CI gate)
+//	garnet-bench -scale           # 100k-1M sensor memory census
+//	                              # → BENCH_scale.json
+//	garnet-bench -scale -quick -max-idle-bytes 768
+//	                              # CI smoke: one 100k cell, fail the job
+//	                              # if bytes/idle-sensor exceeds the budget
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 
 	"github.com/garnet-middleware/garnet/internal/experiments"
 	"github.com/garnet-middleware/garnet/internal/perfharness"
+	"github.com/garnet-middleware/garnet/internal/scale"
 )
 
 func main() {
@@ -40,11 +51,40 @@ func run() error {
 		quick = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 		perf  = flag.Bool("perf", false,
 			"run the multicore perf sweep and emit BENCH_dispatch.json / BENCH_pipeline.json instead of experiment tables")
-		outDir   = flag.String("out", ".", "output directory for -perf BENCH_*.json files")
+		outDir   = flag.String("out", ".", "output directory for -perf/-scale BENCH_*.json files")
 		baseline = flag.String("baseline", "",
 			"committed BENCH_*.json to diff the fresh -perf run against (per-scenario msgs/s deltas)")
+		maxRegress = flag.Float64("max-regress", 0,
+			"with -perf -baseline: exit non-zero when any matched cell's msgs/s drops more than this percentage")
+		scenario = flag.String("scenario", "",
+			"with -perf: run only the named scenario (see the registry listing; \"\" runs all)")
+		scaleMode = flag.Bool("scale", false,
+			"run the 100k-1M sensor memory census and emit BENCH_scale.json")
+		maxIdleBytes = flag.Float64("max-idle-bytes", 0,
+			"with -scale: exit non-zero when bytes/idle-sensor exceeds this ceiling (0 = no ceiling)")
 	)
 	flag.Parse()
+
+	if *scaleMode {
+		path, rep, err := scale.WriteReport(scale.Options{
+			Quick:  *quick,
+			OutDir: *outDir,
+			Log: func(format string, a ...any) {
+				fmt.Fprintf(os.Stdout, format+"\n", a...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stdout, "wrote %s\n", path)
+		if *maxIdleBytes > 0 {
+			if got := scale.MaxIdleBytes(rep); got > *maxIdleBytes {
+				return fmt.Errorf("bytes/idle-sensor %.0f exceeds the -max-idle-bytes ceiling %.0f", got, *maxIdleBytes)
+			}
+			fmt.Fprintf(os.Stdout, "bytes/idle-sensor %.0f within ceiling %.0f\n", scale.MaxIdleBytes(rep), *maxIdleBytes)
+		}
+		return nil
+	}
 
 	if *perf {
 		// The scenario listing comes from the harness registry — the same
@@ -58,7 +98,11 @@ func run() error {
 		for _, sc := range perfharness.Scenarios() {
 			names = append(names, sc.Name)
 		}
-		fmt.Fprintf(os.Stdout, "perf scenarios (%s sweep): %s\n", mode, strings.Join(names, " "))
+		if *scenario != "" {
+			fmt.Fprintf(os.Stdout, "perf scenario (%s sweep, of %s): %s\n", mode, strings.Join(names, " "), *scenario)
+		} else {
+			fmt.Fprintf(os.Stdout, "perf scenarios (%s sweep): %s\n", mode, strings.Join(names, " "))
+		}
 		// Load the baseline before the sweep runs: -out may point at the
 		// directory holding the baseline itself, and the comparison must
 		// be against the committed numbers, not the freshly overwritten
@@ -72,8 +116,9 @@ func run() error {
 			base = &r
 		}
 		dp, pp, err := perfharness.WriteReports(perfharness.Options{
-			Quick:  *quick,
-			OutDir: *outDir,
+			Quick:    *quick,
+			OutDir:   *outDir,
+			Scenario: *scenario,
 			Log: func(format string, a ...any) {
 				fmt.Fprintf(os.Stdout, format+"\n", a...)
 			},
@@ -81,9 +126,13 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stdout, "wrote %s\nwrote %s\n", dp, pp)
+		for _, p := range []string{dp, pp} {
+			if p != "" {
+				fmt.Fprintf(os.Stdout, "wrote %s\n", p)
+			}
+		}
 		if base != nil {
-			return diffBaseline(*baseline, *base, dp, pp)
+			return diffBaseline(*baseline, *base, dp, pp, *maxRegress)
 		}
 		return nil
 	}
@@ -123,10 +172,16 @@ func loadReport(path string) (perfharness.Report, error) {
 // diffBaseline prints per-scenario msgs/s deltas between a committed
 // baseline report (loaded before the sweep ran) and the fresh report of
 // the same area, which the run just wrote to dispatchPath/pipelinePath.
-func diffBaseline(baselinePath string, base perfharness.Report, dispatchPath, pipelinePath string) error {
+// When maxRegress > 0, any matched cell whose msgs/s dropped more than
+// that percentage fails the run — the CI regression gate.
+func diffBaseline(baselinePath string, base perfharness.Report, dispatchPath, pipelinePath string, maxRegress float64) error {
 	freshPath := dispatchPath
 	if base.Area == "pipeline" {
 		freshPath = pipelinePath
+	}
+	if freshPath == "" {
+		return fmt.Errorf("baseline %s is a %s report but the run produced no %s results",
+			baselinePath, base.Area, base.Area)
 	}
 	fresh, err := loadReport(freshPath)
 	if err != nil {
@@ -137,9 +192,19 @@ func diffBaseline(baselinePath string, base perfharness.Report, dispatchPath, pi
 		return fmt.Errorf("baseline %s shares no cells with the fresh %s report", baselinePath, base.Area)
 	}
 	fmt.Fprintf(os.Stdout, "\nbaseline %s (%s, %s) vs fresh run:\n", baselinePath, base.Area, base.Date)
+	var regressed []perfharness.Delta
 	for _, d := range deltas {
-		fmt.Fprintf(os.Stdout, "  %-55s %8.2f → %8.2f Kmsg/s (%+.1f%%)\n",
-			d.Key, d.Baseline/1e3, d.Current/1e3, d.Pct)
+		marker := ""
+		if maxRegress > 0 && d.Pct < -maxRegress {
+			regressed = append(regressed, d)
+			marker = "  << regression"
+		}
+		fmt.Fprintf(os.Stdout, "  %-55s %8.2f → %8.2f Kmsg/s (%+.1f%%)%s\n",
+			d.Key, d.Baseline/1e3, d.Current/1e3, d.Pct, marker)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d cell(s) regressed more than %.1f%% vs %s (worst: %s at %+.1f%%)",
+			len(regressed), maxRegress, baselinePath, regressed[0].Key, regressed[0].Pct)
 	}
 	return nil
 }

@@ -6,9 +6,11 @@
 // The -store mode feeds every decoded data frame through an in-memory
 // Stream Store and prints the resulting retention view: per-stream
 // 64-bit extended sequences (the store's wrap-free addresses), window
-// bounds and what a replaying consumer would receive — the quickest way
-// to see how a captured trace lands in the retention layer, including
-// duplicate collapse and eviction under a chosen retention bound.
+// bounds, a per-stream resident-memory estimate (ring header + slot
+// backing + payloads + cold blocks) and what a replaying consumer would
+// receive — the quickest way to see how a captured trace lands in the
+// retention layer, including duplicate collapse and eviction under a
+// chosen retention bound.
 //
 // Usage:
 //
@@ -185,8 +187,8 @@ func inspectStore(w io.Writer, frames [][]byte, retain int, codecName string) er
 	}
 	for _, id := range streams {
 		ss, _ := st.StreamStats(id)
-		fmt.Fprintf(w, "stream %v: %d retained, store seq %d..%d, next wire seq %d, %d B",
-			id, ss.Count, ss.FirstSeq, ss.LastSeq, ss.NextWire, ss.Bytes)
+		fmt.Fprintf(w, "stream %v: %d retained, store seq %d..%d, next wire seq %d, %d B, ~%d B resident",
+			id, ss.Count, ss.FirstSeq, ss.LastSeq, ss.NextWire, ss.Bytes, ss.ResidentBytes)
 		if ss.ColdBlocks > 0 {
 			ratio := float64(ss.ColdRawBytes) / float64(ss.ColdBytes)
 			fmt.Fprintf(w, ", codec %s ×%.1f (%d cold in %d B)", ss.Codec, ratio, ss.ColdMessages, ss.ColdBytes)

@@ -202,12 +202,16 @@ type Options struct {
 	ForceLockedQueue bool
 }
 
-// StreamInfo is one advertised stream, for discovery.
+// StreamInfo is one advertised stream, for discovery. The dispatcher
+// holds one per stream it has ever routed, so field order matters at
+// census scale: the two times and the count lead, and the 32-bit id
+// packs with the flag — 64 bytes, one size class below the naive
+// layout. The footprint test pins the ceiling.
 type StreamInfo struct {
-	Stream     wire.StreamID
 	FirstSeen  time.Time
 	LastSeen   time.Time
 	Count      int64
+	Stream     wire.StreamID
 	Subscribed bool // whether at least one subscription currently matches it
 }
 

@@ -1,0 +1,27 @@
+package dispatch
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestRecordFootprints pins the dispatcher's long-lived record sizes.
+// StreamInfo is the one that scales — one per stream ever routed, so at
+// a million sensors its 64-byte size class (vs 80 for the naive field
+// order) is 16 MB of headroom. Subscription records are per-subscriber,
+// but they ride the wildcard snapshot slice, so they stay pinned too.
+func TestRecordFootprints(t *testing.T) {
+	for _, c := range []struct {
+		name   string
+		got    uintptr
+		budget uintptr
+	}{
+		{"StreamInfo", unsafe.Sizeof(StreamInfo{}), 64},
+		{"subscription", unsafe.Sizeof(subscription{}), 40},
+		{"Pattern", unsafe.Sizeof(Pattern{}), 24},
+	} {
+		if c.got > c.budget {
+			t.Errorf("%s is %d bytes, budget %d — repack before growing it", c.name, c.got, c.budget)
+		}
+	}
+}

@@ -132,6 +132,9 @@ func All() []Experiment {
 		{"E17", "Late-joiner storm: replay catch-up under live load", runE17},
 		{"E18", "Async fan-out storm: lock-free delivery rings under load", runE18},
 		{"E19", "Batched ingest: fan-out storm vs ingest batch size", runE19},
+		{"E20", "Churn storm: cohort and subscription churn leave no residue", runE20},
+		{"E21", "Radio partition: exact gap accounting and replay catch-up", runE21},
+		{"E22", "Slow consumer: bounded-queue backpressure accounting", runE22},
 		{"X1", "Multi-hop relaying — §8 future-work extension", runX1},
 	}
 }

@@ -156,33 +156,50 @@ type pendingEntry struct {
 	release time.Time
 }
 
+// streamFilter is one stream's duplicate/reorder state. Field order is
+// deliberate: pointers and 8-byte fields first, then the time stamps,
+// then the small scalars, so the struct packs into 144 bytes (a
+// footprint test pins the ceiling) — at a million mostly-idle streams
+// the padding of a careless layout alone costs tens of megabytes.
 type streamFilter struct {
 	sh *shard
 
-	base wire.Seq // highest sequence seen, in serial order
 	// window is a circular seen-bitmap over the last len(window)*64
 	// sequence numbers: the bit for sequence s lives at position
 	// s mod size (size is a power of two dividing the 16-bit sequence
 	// space, so the position is stable across wrap-around). Advancing
 	// the window by one — the in-order hot path — sets a single bit
 	// instead of shifting the whole bitmap.
-	window    []uint64
-	initiated bool
+	//
+	// Allocation is lazy: while every sequence has arrived in order the
+	// seen set is the contiguous range [base-span+1, base] and window
+	// stays nil — an idle in-order stream costs no bitmap at all. The
+	// first gap or out-of-order arrival materialises the bitmap the
+	// eager code would have had (exactly the span range set) and the
+	// stream runs the bitmap path from then on.
+	window []uint64
+
+	// Reorder state (used only when ReorderWindow > 0): pending entries
+	// sorted ascending by sequence, released front-first once held long
+	// enough. The backing array is retained across pops, so a warmed-up
+	// stream reorders without allocating (Flush releases it). releasing
+	// serialises timer fires per stream: a second fire while one is
+	// mid-sink would otherwise deliver later sequences before earlier
+	// ones on a real clock (AfterFunc callbacks run on independent
+	// goroutines).
+	pending []pendingEntry
+	timer   sim.Timer
 
 	delivered  int64
 	duplicates int64
 	firstSeen  time.Time
 	lastSeen   time.Time
 
-	// Reorder state (used only when ReorderWindow > 0): pending entries
-	// sorted ascending by sequence, released front-first once held long
-	// enough. The backing array is retained across pops, so a warmed-up
-	// stream reorders without allocating. releasing serialises timer
-	// fires per stream: a second fire while one is mid-sink would
-	// otherwise deliver later sequences before earlier ones on a real
-	// clock (AfterFunc callbacks run on independent goroutines).
-	pending   []pendingEntry
-	timer     sim.Timer
+	// span is the length of the contiguous seen range ending at base,
+	// clamped to the window size; meaningful only while window is nil.
+	span      int32
+	base      wire.Seq // highest sequence seen, in serial order
+	initiated bool
 	releasing bool
 }
 
@@ -325,11 +342,103 @@ func (sf *streamFilter) clearRange(from wire.Seq, count int) {
 	}
 }
 
+// setRange marks count consecutive sequence positions starting at from as
+// seen — clearRange's dual, used when materialising a lazy window.
+// Called with sh.mu held.
+func (sf *streamFilter) setRange(from wire.Seq, count int) {
+	size := len(sf.window) * 64
+	i := int(uint32(from) & uint32(size-1))
+	for count > 0 {
+		off := i & 63
+		n := 64 - off
+		if n > count {
+			n = count
+		}
+		mask := (^uint64(0) >> (64 - n)) << off
+		sf.window[i>>6] |= mask
+		count -= n
+		if i += n; i == size {
+			i = 0
+		}
+	}
+}
+
+// materialize allocates the bitmap for a stream leaving the contiguous
+// regime, reproducing exactly the bits the eager code would have set: the
+// last span in-order sequences ending at base. Called with sh.mu held.
+func (sf *streamFilter) materialize() {
+	sf.window = make([]uint64, sf.sh.f.opts.WindowSize/64)
+	sf.setRange(sf.base-wire.Seq(sf.span)+1, int(sf.span))
+}
+
+// acceptLazy runs the duplicate screen while the stream has no bitmap —
+// its seen set is the contiguous range [base-span+1, base]. It returns
+// handled=false for the two decisions that need per-sequence bits (an
+// in-window gap, a late recovery outside the contiguous range); the
+// caller materialises the bitmap and reruns the eager path, which then
+// makes the identical decision the eager code always made. Called with
+// sh.mu held.
+func (sf *streamFilter) acceptLazy(seq wire.Seq) (handled, ok bool) {
+	size := sf.sh.f.opts.WindowSize
+	if !sf.initiated {
+		sf.initiated = true
+		sf.base = seq
+		sf.span = 1
+		return true, true
+	}
+	d := sf.base.Distance(seq)
+	switch {
+	case d == 1: // in order: the contiguous range extends
+		if int(sf.span) < size {
+			sf.span++
+		}
+		sf.base = seq
+		return true, true
+	case d >= size:
+		// The jump flushes the whole window: nothing previously seen is
+		// still inside, so the seen set stays contiguous ({seq} alone)
+		// and the stream stays lazy. The skipped numbers are gaps.
+		sf.sh.gaps += int64(d - 1)
+		sf.base = seq
+		sf.span = 1
+		return true, true
+	case d > 1:
+		return false, false // first in-window gap: needs the bitmap
+	case d == 0:
+		sf.duplicates++
+		sf.sh.duplicates++
+		return true, false
+	default: // d < 0: an older sequence
+		if -d >= size {
+			sf.sh.stale++
+			return true, false
+		}
+		if int32(-d) < sf.span {
+			// Inside the contiguous seen range: a duplicate.
+			sf.duplicates++
+			sf.sh.duplicates++
+			return true, false
+		}
+		return false, false // late recovery of a pre-span hole: needs the bitmap
+	}
+}
+
 // accept runs the duplicate window; it reports whether seq is new. Called
 // with sh.mu held.
 func (sf *streamFilter) accept(seq wire.Seq) bool {
+	if sf.window == nil {
+		handled, ok := sf.acceptLazy(seq)
+		if handled {
+			return ok
+		}
+		// The stream just left the in-order regime: build the bitmap it
+		// would have had and fall through to the eager decision.
+		sf.materialize()
+	}
 	size := len(sf.window) * 64
 	if !sf.initiated {
+		// Reachable only with forceEagerWindows: normally initiation runs
+		// on the lazy path, before any bitmap exists.
 		sf.initiated = true
 		sf.base = seq
 		w, m := sf.bitPos(seq)
@@ -455,7 +564,10 @@ func (sf *streamFilter) release() {
 }
 
 // Flush immediately releases all held messages (in per-stream sequence
-// order). Call when shutting down a deployment with reordering enabled.
+// order) and frees the per-stream reorder backlogs — a drained stream
+// keeps only its duplicate-window state, so mass-idle fields do not pin
+// reorder memory. Call when shutting down a deployment with reordering
+// enabled.
 func (f *Filter) Flush() {
 	out := getDeliverySlice()
 	for _, sh := range f.shards {
@@ -465,8 +577,7 @@ func (f *Filter) Flush() {
 				*out = append(*out, p.d)
 			}
 			sh.delivered += int64(len(sf.pending))
-			clear(sf.pending)
-			sf.pending = sf.pending[:0]
+			sf.pending = nil
 			if sf.timer != nil {
 				sf.timer.Stop()
 				sf.timer = nil
@@ -478,6 +589,34 @@ func (f *Filter) Flush() {
 		f.sink(d)
 	}
 	putDeliverySlice(out)
+}
+
+// Forget drops the per-stream filter state for id — duplicate window,
+// reorder backlog and timer — so a mass-detached sensor does not pin
+// ingest-side memory forever. Held reorder entries are discarded, not
+// delivered (the caller is detaching the stream; Flush first to drain).
+// If the stream resumes, it re-initiates like a brand-new stream. It
+// reports whether state existed.
+func (f *Filter) Forget(id wire.StreamID) bool {
+	sh := f.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sf, ok := sh.streams[id]
+	if !ok {
+		return false
+	}
+	if sf.timer != nil {
+		sf.timer.Stop()
+		sf.timer = nil
+	}
+	// An in-flight release() re-checks pending after its sink calls;
+	// emptying it here keeps the timer from re-arming on forgotten state.
+	sf.pending = nil
+	delete(sh.streams, id)
+	if sh.lastID == id {
+		sh.last = nil
+	}
+	return true
 }
 
 // Stats returns an aggregate snapshot summed across shards.

@@ -1,0 +1,16 @@
+package filtering
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestStreamFilterFootprint pins the per-stream filter state size. The
+// filter holds one of these for every stream ever heard; 144 bytes is a
+// Go allocator size class, so crossing it costs every idle sensor a
+// further invisible 16 bytes.
+func TestStreamFilterFootprint(t *testing.T) {
+	if got := unsafe.Sizeof(streamFilter{}); got > 144 {
+		t.Fatalf("streamFilter is %d bytes, budget 144 — repack before growing it", got)
+	}
+}

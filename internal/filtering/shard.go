@@ -74,16 +74,24 @@ func (f *Filter) shardIndexFor(id wire.StreamID) uint32 {
 	return uint32(id.Sensor().Shard(len(f.shards)))
 }
 
+// forceEagerWindows makes every new stream materialise its dup-window
+// bitmap immediately, restoring the historical eager behaviour. Only the
+// lazy-vs-eager differential property test sets it; production code must
+// leave it false.
+var forceEagerWindows = false
+
 // lookupSlowLocked finds or creates the stream's filter state on a
-// single-entry-cache miss and refreshes the cache. Caller holds sh.mu;
-// the cache-hit path lives inline in Ingest.
+// single-entry-cache miss and refreshes the cache. The dup-window bitmap
+// is NOT allocated here: an in-order stream tracks its contiguous seen
+// range with base/span alone, and the bitmap materialises on the first
+// gap or out-of-order arrival (see streamFilter.accept). Caller holds
+// sh.mu; the cache-hit path lives inline in Ingest.
 func (sh *shard) lookupSlowLocked(id wire.StreamID, at time.Time) *streamFilter {
 	sf, ok := sh.streams[id]
 	if !ok {
-		sf = &streamFilter{
-			sh:        sh,
-			window:    make([]uint64, sh.f.opts.WindowSize/64),
-			firstSeen: at,
+		sf = &streamFilter{sh: sh, firstSeen: at}
+		if forceEagerWindows {
+			sf.window = make([]uint64, sh.f.opts.WindowSize/64)
 		}
 		sh.streams[id] = sf
 	}

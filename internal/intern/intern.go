@@ -1,0 +1,89 @@
+// Package intern provides a process-wide append-only string intern
+// table so identity strings that recur per message — receiver names,
+// above all — are stored once and shared by every plane that holds
+// them.
+//
+// At a million sensors every retained Delivery carries a receiver-name
+// string header; without interning, decode paths that rebuild those
+// names from bytes (the store's cold-block codec) would give each copy
+// its own backing array. The table maps any spelling of a name to one
+// canonical string, so a deployment's small fixed receiver set costs
+// its bytes exactly once no matter how many deliveries reference it.
+//
+// The deployment's identity vocabulary is tiny and stops growing after
+// start-up, which picks the design: a copy-on-write map behind an
+// atomic pointer. Readers are lock-free — one atomic load and one map
+// index, no allocation for the []byte form — and only the first
+// occurrence of a new name takes the writer lock to publish a fresh
+// copy of the table. The table is append-only and process-lived;
+// nothing is ever evicted, which is exactly right for identities and
+// exactly wrong for payloads, so callers must not feed it unbounded
+// data.
+package intern
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// table is the current canonical map. It is immutable once published:
+// internSlow replaces the whole map under mu rather than mutating it,
+// so readers need no lock and no happens-before beyond the atomic load.
+var table atomic.Pointer[map[string]string]
+
+// mu serialises writers (first occurrence of a new string only).
+var mu sync.Mutex
+
+func init() {
+	m := make(map[string]string)
+	table.Store(&m)
+}
+
+// String returns the canonical copy of s, installing s itself if it is
+// the first spelling seen. The fast path is one atomic load and one map
+// lookup.
+func String(s string) string {
+	if s == "" {
+		return ""
+	}
+	if c, ok := (*table.Load())[s]; ok {
+		return c
+	}
+	return internSlow(s)
+}
+
+// Bytes returns the canonical string for b. When b is already interned
+// the lookup allocates nothing: the compiler recognises the
+// map-index-by-converted-bytes form and skips the string copy.
+func Bytes(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if c, ok := (*table.Load())[string(b)]; ok {
+		return c
+	}
+	return internSlow(string(b))
+}
+
+// internSlow publishes s under the writer lock, re-checking first: two
+// racing writers must converge on a single canonical pointer.
+func internSlow(s string) string {
+	mu.Lock()
+	defer mu.Unlock()
+	cur := *table.Load()
+	if c, ok := cur[s]; ok {
+		return c
+	}
+	next := make(map[string]string, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[s] = s
+	table.Store(&next)
+	return s
+}
+
+// Len reports how many distinct strings are interned. Diagnostic only.
+func Len() int {
+	return len(*table.Load())
+}

@@ -1,0 +1,16 @@
+package orphanage
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestOrphanStreamFootprint pins the per-stream view size: one of these
+// per unclaimed stream held. 88 bytes is the packed layout with the
+// narrow fields at the tail; a careless field addition reopens padding
+// holes silently.
+func TestOrphanStreamFootprint(t *testing.T) {
+	if got := unsafe.Sizeof(orphanStream{}); got > 88 {
+		t.Fatalf("orphanStream is %d bytes, budget 88 — repack before growing it", got)
+	}
+}

@@ -72,19 +72,24 @@ type Stats struct {
 	Claims          int64
 }
 
+// orphanStream is the per-stream view: one allocation per unclaimed
+// stream held, so the narrow fields — the 32-bit id, the window count
+// and the heap index, none of which can approach 2³¹ under the
+// MaxStreams/PerStreamCapacity bounds — pack together at the tail
+// rather than each paying a word. The footprint test pins the ceiling.
 type orphanStream struct {
-	id       wire.StreamID
-	firstExt uint64 // store seq of the oldest message in the window
-	lastExt  uint64 // store seq of the newest message in the window
+	firstExt  uint64 // store seq of the oldest message in the window
+	lastExt   uint64 // store seq of the newest message in the window
+	seen      int64
+	firstSeen time.Time
+	lastSeen  time.Time
+	id        wire.StreamID
 	// buffered is the policy count driving window advancement; what the
 	// window actually holds is read back from the store (Info, Stats),
 	// so store-side byte/age eviction inside the window can never make
 	// the view overstate a claim.
-	buffered  int
-	seen      int64
-	firstSeen time.Time
-	lastSeen  time.Time
-	heapIdx   int // position in the silence heap
+	buffered int32
+	heapIdx  int32 // position in the silence heap
 }
 
 // silenceHeap orders held streams by lastSeen (oldest-silent first), so
@@ -96,12 +101,12 @@ func (h silenceHeap) Len() int           { return len(h) }
 func (h silenceHeap) Less(i, j int) bool { return h[i].lastSeen.Before(h[j].lastSeen) }
 func (h silenceHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
-	h[i].heapIdx = i
-	h[j].heapIdx = j
+	h[i].heapIdx = int32(i)
+	h[j].heapIdx = int32(j)
 }
 func (h *silenceHeap) Push(x any) {
 	st := x.(*orphanStream)
-	st.heapIdx = len(*h)
+	st.heapIdx = int32(len(*h))
 	*h = append(*h, st)
 }
 func (h *silenceHeap) Pop() any {
@@ -207,7 +212,7 @@ func (o *Orphanage) Consume(d filtering.Delivery) {
 	}
 	st.seen++
 	st.lastSeen = d.At
-	heap.Fix(&o.silence, st.heapIdx)
+	heap.Fix(&o.silence, int(st.heapIdx))
 	if d.StoreSeq < st.firstExt {
 		st.firstExt = d.StoreSeq // late out-of-order fill extends the window down
 	}
@@ -215,7 +220,7 @@ func (o *Orphanage) Consume(d filtering.Delivery) {
 		st.lastExt = d.StoreSeq
 	}
 	st.buffered++
-	if st.buffered > o.opts.PerStreamCapacity {
+	if int(st.buffered) > o.opts.PerStreamCapacity {
 		// Advance the window past the oldest retained message.
 		o.dropped.Inc()
 		if seq, _, ok := o.st.OldestSince(st.id, st.firstExt); ok {
@@ -275,7 +280,7 @@ func (o *Orphanage) PeekCursor(id wire.StreamID) (from, to uint64, n int, ok boo
 	if !ok {
 		return 0, 0, 0, false
 	}
-	return st.firstExt, st.lastExt, st.buffered, true
+	return st.firstExt, st.lastExt, int(st.buffered), true
 }
 
 func (o *Orphanage) claimCursor(id wire.StreamID) (from, to uint64, n int, ok bool) {
@@ -286,9 +291,9 @@ func (o *Orphanage) claimCursor(id wire.StreamID) (from, to uint64, n int, ok bo
 		return 0, 0, 0, false
 	}
 	delete(o.streams, id)
-	heap.Remove(&o.silence, st.heapIdx)
+	heap.Remove(&o.silence, int(st.heapIdx))
 	o.claims.Inc()
-	return st.firstExt, st.lastExt, st.buffered, true
+	return st.firstExt, st.lastExt, int(st.buffered), true
 }
 
 // Streams lists every held stream with its analysis, sorted by id. The
@@ -371,7 +376,7 @@ func (o *Orphanage) Stats() Stats {
 	o.mu.Lock()
 	held := 0
 	for _, st := range o.streams {
-		held += st.buffered
+		held += int(st.buffered)
 	}
 	streams := len(o.streams)
 	o.mu.Unlock()

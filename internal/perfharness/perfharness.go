@@ -130,6 +130,10 @@ type Options struct {
 	// OutDir receives BENCH_dispatch.json and BENCH_pipeline.json;
 	// empty means the current directory.
 	OutDir string
+	// Scenario, when non-empty, restricts the run to the one named
+	// registry scenario — the local-iteration loop. The report of the
+	// other area is then empty and is not written.
+	Scenario string
 	// Log, when non-nil, receives one line per measured cell.
 	Log func(format string, args ...any)
 }
@@ -687,6 +691,9 @@ func Run(opts Options) (dispatchReport, pipelineReport Report) {
 	dr := newReport("dispatch")
 	pr := newReport("pipeline")
 	for _, sc := range registry {
+		if opts.Scenario != "" && sc.name != opts.Scenario {
+			continue
+		}
 		rep := &dr
 		if sc.area == "pipeline" {
 			rep = &pr
@@ -789,23 +796,35 @@ func Compare(baseline, current Report) []Delta {
 	return out
 }
 
-// WriteReports runs the sweep, validates both reports and writes
-// BENCH_dispatch.json and BENCH_pipeline.json into opts.OutDir,
-// returning the two file paths.
+// WriteReports runs the sweep, validates the resulting reports and
+// writes BENCH_dispatch.json and BENCH_pipeline.json into opts.OutDir,
+// returning the two file paths. With Options.Scenario set, the area the
+// scenario does not feed produces no results; that report is skipped
+// (its returned path is empty) rather than overwriting a committed full
+// report with an empty one.
 func WriteReports(opts Options) (dispatchPath, pipelinePath string, err error) {
+	if opts.Scenario != "" {
+		if _, ok := scenarioByName(opts.Scenario); !ok {
+			var names []string
+			for _, sc := range registry {
+				names = append(names, sc.name)
+			}
+			return "", "", fmt.Errorf("unknown scenario %q (have %v)", opts.Scenario, names)
+		}
+	}
 	if opts.OutDir != "" {
 		if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
 			return "", "", err
 		}
 	}
 	dr, pr := Run(opts)
-	if err := Validate(dr); err != nil {
-		return "", "", fmt.Errorf("dispatch report invalid: %w", err)
-	}
-	if err := Validate(pr); err != nil {
-		return "", "", fmt.Errorf("pipeline report invalid: %w", err)
-	}
 	write := func(name string, r Report) (string, error) {
+		if opts.Scenario != "" && len(r.Results) == 0 {
+			return "", nil
+		}
+		if err := Validate(r); err != nil {
+			return "", fmt.Errorf("%s report invalid: %w", r.Area, err)
+		}
 		path := filepath.Join(opts.OutDir, name)
 		data, err := json.MarshalIndent(r, "", "  ")
 		if err != nil {

@@ -88,6 +88,56 @@ func TestScenarioRegistry(t *testing.T) {
 			t.Fatalf("scenario %d = %+v, want %+v", i, got[i], want[i])
 		}
 	}
+	// The -scenario filter resolves through the same registry: every
+	// listed name must be addressable, and an unknown name must be
+	// refused before any benchmark runs.
+	for _, sc := range got {
+		if _, ok := scenarioByName(sc.Name); !ok {
+			t.Fatalf("scenario %q listed but not addressable by name", sc.Name)
+		}
+	}
+	if _, ok := scenarioByName("no_such_scenario"); ok {
+		t.Fatal("unknown scenario name resolved")
+	}
+	if _, _, err := WriteReports(Options{Scenario: "no_such_scenario"}); err == nil {
+		t.Fatal("WriteReports accepted an unknown -scenario name")
+	}
+}
+
+// TestScenarioFilter runs one registry scenario through the -scenario
+// path: only that scenario's cells may appear, and the other area's
+// report must not be written at all.
+func TestScenarioFilter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf sweep in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race runtime drops sync.Pool puts, failing the 0-alloc bars")
+	}
+	dir := t.TempDir()
+	dp, pp, err := WriteReports(Options{Quick: true, OutDir: dir, Scenario: "ring_enqueue_drain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp != "" {
+		t.Fatalf("pipeline report written (%q) for a dispatch-area scenario", pp)
+	}
+	data, err := os.ReadFile(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(r); err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range r.Results {
+		if res.Path != "ring_enqueue_drain" {
+			t.Fatalf("filtered run emitted foreign cell %q", res.Path)
+		}
+	}
 }
 
 // TestCompare pins baseline matching: cells pair up by scenario key,

@@ -446,6 +446,103 @@ func TestRingEnqueueNOrderStress(t *testing.T) {
 	}
 }
 
+// TestRingEnqueueNVsConcurrentDequeue races multi-slot claims against
+// dequeuers on both sides of the ring: a drain goroutine plus the
+// producers themselves, which discard-oldest whenever a claim is refused
+// — the dispatch port's DropOldest pattern, where the publisher dequeues
+// mid-claim to make room. The order-stress test above covers racing
+// producers; this one adds racing consumers. Conservation is exact:
+// every value admitted by TryEnqueueN must surface exactly once, at the
+// drain goroutine or as a producer-side discard, never twice and never
+// lost to a half-visible slot.
+func TestRingEnqueueNVsConcurrentDequeue(t *testing.T) {
+	const (
+		producers = 4
+		perProd   = 4000
+	)
+	r := New[int](64) // small: claims wrap constantly and refusals are common
+	stop := make(chan struct{})
+	var drained []int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			v, ok := r.TryDequeue()
+			if ok {
+				drained = append(drained, v)
+				continue
+			}
+			select {
+			case <-stop:
+				// Producers are finished: drain what's left and exit.
+				for {
+					v, ok := r.TryDequeue()
+					if !ok {
+						return
+					}
+					drained = append(drained, v)
+				}
+			default:
+				runtime.Gosched()
+			}
+		}
+	}()
+	discards := make([][]int, producers)
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			defer wg.Done()
+			i := 0
+			for i < perProd {
+				batch := 1 + (i+p)%7
+				if batch > perProd-i {
+					batch = perProd - i
+				}
+				vs := make([]int, batch)
+				for j := range vs {
+					vs[j] = p*perProd + i + j
+				}
+				for len(vs) > 0 {
+					n := r.TryEnqueueN(vs)
+					i += n
+					vs = vs[n:]
+					if n == 0 {
+						// Refused claim: discard-oldest to make room,
+						// racing the drain goroutine for the same slot.
+						if v, ok := r.TryDequeue(); ok {
+							discards[p] = append(discards[p], v)
+						}
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(stop)
+	<-done
+
+	const total = producers * perProd
+	seen := make([]int, total)
+	count := func(vs []int) {
+		for _, v := range vs {
+			if v < 0 || v >= total {
+				t.Fatalf("value %d out of range — corrupted slot", v)
+			}
+			seen[v]++
+		}
+	}
+	count(drained)
+	for _, d := range discards {
+		count(d)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d surfaced %d times, want exactly once", v, n)
+		}
+	}
+}
+
 // TestRingEnqueueNZeroAlloc pins the batched claim at 0 allocs/op.
 func TestRingEnqueueNZeroAlloc(t *testing.T) {
 	r := New[int](256)

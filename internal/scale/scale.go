@@ -1,0 +1,269 @@
+// Package scale is the million-sensor census behind `garnet-bench
+// -scale`: it stands up a full Deployment on the virtual clock, walks it
+// through 100k–1M simulated sensors, and measures what each plane of the
+// middleware actually costs per stream — bytes per *idle* sensor (one
+// message ever, the dominant population of a large WSN field), bytes per
+// *active* stream (a warmed retention ring plus filter/dispatch state),
+// and the ingest rate while the field is that large. The numbers come
+// from forced-GC-settled runtime.ReadMemStats deltas, so they are live
+// heap, not allocation churn.
+//
+// The census is the regression bar for ROADMAP item 5's scale half:
+// BENCH_scale.json is schema-stable, committed, and CI re-runs the quick
+// sweep with a bytes/idle-sensor ceiling so a future PR that fattens the
+// per-stream structures fails loudly instead of silently costing
+// gigabytes at a million sensors.
+package scale
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"github.com/garnet-middleware/garnet/internal/core"
+	"github.com/garnet-middleware/garnet/internal/dispatch"
+	"github.com/garnet-middleware/garnet/internal/filtering"
+	"github.com/garnet-middleware/garnet/internal/receiver"
+	"github.com/garnet-middleware/garnet/internal/sim"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+// Schema identifies the report layout; bump only with a migration note
+// in the README, because re-anchor tooling diffs these files across PRs.
+const Schema = "garnet-bench-scale/v1"
+
+// ActiveMsgs is how many messages each active stream sends during the
+// active phase — enough to grow the store ring well past its lazy
+// minimum, so bytes/active-stream reflects a warmed retention window.
+const ActiveMsgs = 64
+
+// Result is one measured census cell.
+type Result struct {
+	Sensors       int     `json:"sensors"`
+	ActivePct     float64 `json:"active_pct"`
+	ActiveStreams int     `json:"active_streams"`
+	MsgsPerActive int     `json:"msgs_per_active"`
+
+	// IdleBytesPerSensor is the settled live-heap delta of attaching one
+	// sensor that sends a single in-order message: filter stream state,
+	// store retention header and slot, dispatch advertising record, and
+	// their map entries.
+	IdleBytesPerSensor float64 `json:"idle_bytes_per_sensor"`
+	// ActiveBytesPerStream is the additional settled live-heap delta per
+	// stream after ActiveMsgs further messages (grown retention ring,
+	// retained payloads).
+	IdleHeapBytes        uint64  `json:"idle_heap_bytes"`
+	ActiveBytesPerStream float64 `json:"active_bytes_per_stream"`
+	// IngestMsgsPerSec is the wall-clock ingest rate measured during the
+	// active phase, with the full idle population resident.
+	IngestMsgsPerSec float64 `json:"ingest_msgs_per_sec"`
+	// LiveHeapBytes is the settled live heap after the whole census —
+	// what a deployment this size actually occupies.
+	LiveHeapBytes uint64 `json:"live_heap_bytes"`
+}
+
+// Report is the emitted BENCH_scale.json document.
+type Report struct {
+	Schema   string   `json:"schema"`
+	Area     string   `json:"area"`
+	Date     string   `json:"date"`
+	Go       string   `json:"go"`
+	HostCPUs int      `json:"host_cpus"`
+	Quick    bool     `json:"quick"`
+	Results  []Result `json:"results"`
+}
+
+// Options configures a census run.
+type Options struct {
+	// Quick shrinks the sweep to one 100k-sensor cell for CI smoke jobs.
+	Quick bool
+	// OutDir receives BENCH_scale.json; empty means the current
+	// directory.
+	OutDir string
+	// Log, when non-nil, receives one line per measured cell.
+	Log func(format string, args ...any)
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+func (o Options) sensorSweep() []int {
+	if o.Quick {
+		return []int{100_000}
+	}
+	return []int{100_000, 1_000_000}
+}
+
+func (o Options) activeSweep() []float64 {
+	if o.Quick {
+		return []float64{0.01}
+	}
+	return []float64{0.001, 0.01}
+}
+
+// settledHeap forces the collector until the live heap stops moving and
+// returns HeapAlloc — the census wants resident structures, not
+// allocation churn. Two extra cycles let finalizer-driven frees (none in
+// Garnet today, but cheap insurance) settle.
+func settledHeap() uint64 {
+	var ms runtime.MemStats
+	prev := uint64(0)
+	for i := 0; i < 5; i++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		if i >= 2 && ms.HeapAlloc == prev {
+			break
+		}
+		prev = ms.HeapAlloc
+	}
+	return ms.HeapAlloc
+}
+
+// census runs one cell: sensors idle streams, activeFrac of them sending
+// ActiveMsgs more messages each.
+func census(sensors int, activeFrac float64) Result {
+	clock := sim.NewVirtualClock(time.Unix(0, 0).UTC())
+	dep := core.New(core.Config{Clock: clock, Secret: []byte("scale-census")})
+	// A standing wildcard subscriber keeps every stream claimed, so the
+	// census measures the filter/store/dispatch planes rather than
+	// orphanage policy (whose MaxStreams bound would otherwise forget
+	// most of the field).
+	if _, err := dep.Dispatcher().Subscribe(&dispatch.ConsumerFunc{
+		ConsumerName: "census-sink",
+		Fn:           func(filtering.Delivery) {},
+	}, dispatch.All()); err != nil {
+		panic(err)
+	}
+	dep.Start()
+	defer dep.Stop()
+	now := clock.Now()
+
+	heap0 := settledHeap()
+
+	// Idle phase: every sensor attaches with a single in-order message.
+	for i := 0; i < sensors; i++ {
+		dep.InjectReception(receiver.Reception{
+			Msg:      wire.Message{Stream: wire.MustStreamID(wire.SensorID(i+1), 0), Seq: 1},
+			Receiver: "rx-census",
+			RSSI:     0.5,
+			At:       now,
+		})
+	}
+	heap1 := settledHeap()
+
+	active := int(float64(sensors) * activeFrac)
+	if active < 1 {
+		active = 1
+	}
+	// Active phase: the first `active` sensors each send ActiveMsgs more
+	// in-order messages, stream-major so the run also exercises the
+	// shard lookup caches the hot path depends on.
+	start := time.Now()
+	for i := 0; i < active; i++ {
+		id := wire.MustStreamID(wire.SensorID(i+1), 0)
+		for m := 0; m < ActiveMsgs; m++ {
+			dep.InjectReception(receiver.Reception{
+				Msg:      wire.Message{Stream: id, Seq: wire.Seq(2 + m)},
+				Receiver: "rx-census",
+				RSSI:     0.5,
+				At:       now,
+			})
+		}
+	}
+	elapsed := time.Since(start)
+	heap2 := settledHeap()
+
+	return Result{
+		Sensors:              sensors,
+		ActivePct:            activeFrac * 100,
+		ActiveStreams:        active,
+		MsgsPerActive:        ActiveMsgs,
+		IdleBytesPerSensor:   float64(heap1-heap0) / float64(sensors),
+		IdleHeapBytes:        heap1 - heap0,
+		ActiveBytesPerStream: float64(heap2-heap1) / float64(active),
+		IngestMsgsPerSec:     float64(active*ActiveMsgs) / elapsed.Seconds(),
+		LiveHeapBytes:        heap2,
+	}
+}
+
+// Run executes the sweep and returns the report.
+func Run(opts Options) Report {
+	rep := Report{
+		Schema:   Schema,
+		Area:     "scale",
+		Date:     time.Now().UTC().Format("2006-01-02"),
+		Go:       runtime.Version(),
+		HostCPUs: runtime.NumCPU(),
+		Quick:    opts.Quick,
+	}
+	for _, sensors := range opts.sensorSweep() {
+		for _, frac := range opts.activeSweep() {
+			res := census(sensors, frac)
+			opts.logf("scale sensors=%d active=%.1f%%: %.0f B/idle-sensor, %.0f B/active-stream, %.2f Mmsg/s, live heap %.1f MB",
+				res.Sensors, res.ActivePct, res.IdleBytesPerSensor, res.ActiveBytesPerStream,
+				res.IngestMsgsPerSec/1e6, float64(res.LiveHeapBytes)/(1<<20))
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	return rep
+}
+
+// Validate checks a report against the schema.
+func Validate(r Report) error {
+	if r.Schema != Schema {
+		return fmt.Errorf("schema %q, want %q", r.Schema, Schema)
+	}
+	if r.Area != "scale" || r.Date == "" || r.Go == "" || r.HostCPUs <= 0 {
+		return fmt.Errorf("missing header fields: %+v", r)
+	}
+	if len(r.Results) == 0 {
+		return fmt.Errorf("report has no results")
+	}
+	for _, res := range r.Results {
+		if res.Sensors <= 0 || res.ActiveStreams <= 0 || res.MsgsPerActive <= 0 {
+			return fmt.Errorf("malformed result: %+v", res)
+		}
+		if res.IdleBytesPerSensor <= 0 || res.IngestMsgsPerSec <= 0 {
+			return fmt.Errorf("non-positive measurement in result: %+v", res)
+		}
+	}
+	return nil
+}
+
+// MaxIdleBytes returns the largest bytes/idle-sensor across the report's
+// cells — the number the CI ceiling assertion gates on.
+func MaxIdleBytes(r Report) float64 {
+	max := 0.0
+	for _, res := range r.Results {
+		if res.IdleBytesPerSensor > max {
+			max = res.IdleBytesPerSensor
+		}
+	}
+	return max
+}
+
+// WriteReport runs the sweep, validates the report and writes
+// BENCH_scale.json into opts.OutDir, returning the path and the report.
+func WriteReport(opts Options) (string, Report, error) {
+	if opts.OutDir != "" {
+		if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+			return "", Report{}, err
+		}
+	}
+	rep := Run(opts)
+	if err := Validate(rep); err != nil {
+		return "", rep, fmt.Errorf("scale report invalid: %w", err)
+	}
+	path := filepath.Join(opts.OutDir, "BENCH_scale.json")
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", rep, err
+	}
+	return path, rep, os.WriteFile(path, append(data, '\n'), 0o644)
+}

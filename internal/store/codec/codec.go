@@ -37,9 +37,9 @@ package codec
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"github.com/garnet-middleware/garnet/internal/filtering"
+	"github.com/garnet-middleware/garnet/internal/intern"
 	"github.com/garnet-middleware/garnet/internal/wire"
 )
 
@@ -196,20 +196,12 @@ func bytesEqual(a, b []byte) bool {
 	return true
 }
 
-// internReceiver maps decoded receiver-name bytes to a shared string.
-// Deployments have a small fixed receiver set, so after warm-up block
-// decodes allocate no strings. The map-index-by-converted-bytes form
-// makes the lookup allocation-free.
-var internMu sync.Mutex
-var interned = make(map[string]string)
-
+// internReceiver maps decoded receiver-name bytes to the process-wide
+// canonical string — the same one receiver.New installs — so decoded
+// blocks share receiver identity with live deliveries instead of
+// rebuilding a private copy per decode. Deployments have a small fixed
+// receiver set, so after warm-up block decodes allocate no strings and
+// take no lock.
 func internReceiver(b []byte) string {
-	internMu.Lock()
-	s, ok := interned[string(b)]
-	if !ok {
-		s = string(b)
-		interned[s] = s
-	}
-	internMu.Unlock()
-	return s
+	return intern.Bytes(b)
 }

@@ -1,0 +1,17 @@
+package store
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestRingFootprint pins the per-stream header size. One ring exists for
+// every stream the store has ever seen, so a field added carelessly (or
+// a reorder that reopens padding holes) taxes every sensor in a
+// million-sensor deployment. 144 bytes is a Go allocator size class;
+// crossing it wastes a further 16 bytes per stream invisibly.
+func TestRingFootprint(t *testing.T) {
+	if got := unsafe.Sizeof(ring{}); got > 144 {
+		t.Fatalf("ring is %d bytes, budget 144 — repack before growing it", got)
+	}
+}

@@ -66,9 +66,11 @@ const (
 	extBase = uint64(wire.SeqCount)
 
 	// minRingSize is the initial ring allocation; rings double as the
-	// retained window grows, so streams that only ever see a handful of
-	// messages stay cheap.
-	minRingSize = 8
+	// retained window grows. One slot, not a batch: at a million mostly
+	// idle sensors the dominant store cost is the per-stream ring, and a
+	// stream that only ever reported once should pay for exactly one
+	// retained delivery, not eight.
+	minRingSize = 1
 )
 
 // Defaults for the cold compressed tier (Options.Codec != "").
@@ -169,6 +171,16 @@ type StreamStats struct {
 	Count    int   // retained deliveries: hot + stage + cold
 	Bytes    int64 // their payload bytes as appended
 
+	// ResidentBytes estimates the stream's resident heap: the ring
+	// header, the hot slot array and stage backing at capacity, retained
+	// payload bytes, and the sealed blocks' headers plus compressed
+	// data. Receiver strings are interned process-wide and payload
+	// backing is counted at appended length, so this is an estimate —
+	// but one built from the same quantities the evictors charge, which
+	// makes it comparable across streams and honest about lazy
+	// allocation (a forgotten or idle stream shows only its header).
+	ResidentBytes int64
+
 	// Cold-tier view, zero when compression is off or nothing has been
 	// sealed yet. ColdRawBytes/ColdBytes is the stream's compression
 	// ratio.
@@ -254,23 +266,27 @@ func (sh *shard) recycleBufLocked(b []byte) {
 // ring is one stream's retention state: a power-of-two circular buffer of
 // deliveries indexed by extended sequence, plus the unwrap state that
 // survives even when every entry has been evicted.
+//
+// There is one ring per stream the store has ever seen, so its layout is
+// the store's idle footprint: the slot mask is derived from len(slots)
+// (see slotMask) instead of stored, the counts are int32 (both are
+// bounded by ring/budget sizes far below 2³¹), and the narrow fields sit
+// together at the tail — 144 bytes, one whole size class below the naive
+// 160-byte layout. The footprint test pins the ceiling.
 type ring struct {
 	slots []filtering.Delivery
-	mask  uint64
 
 	// Retained window [minExt, maxExt], both present when count > 0.
 	// Entries inside the window may be holes (sequence gaps the radio
 	// lost); a slot is occupied iff its StoreSeq matches the probed
 	// extended sequence and lies inside the window.
 	minExt, maxExt uint64
-	count          int
 	bytes          int64
 
-	// Unwrap state: lastExt is the highest extended sequence ever
-	// assigned and lastWire its wire sequence. Kept across Forget so a
-	// stream's addresses never move backwards.
-	lastExt  uint64
-	lastWire wire.Seq
+	// lastExt is the highest extended sequence ever assigned (unwrap
+	// state, with lastWire below). Kept across Forget so a stream's
+	// addresses never move backwards.
+	lastExt uint64
 
 	// Cold tier (compression enabled). Entries leave the hot ring oldest
 	// first into stage — a fixed-capacity slice whose spare elements park
@@ -285,8 +301,18 @@ type ring struct {
 	cold       []coldBlock
 	coldBytes  int64 // compressed bytes across cold
 	coldRaw    int64 // payload bytes those blocks represent
-	coldCount  int   // deliveries across cold
+
+	count     int32 // occupied hot slots
+	coldCount int32 // deliveries across cold
+	// lastWire is the wire sequence of lastExt (unwrap state).
+	lastWire wire.Seq
 }
+
+// slotMask converts an extended sequence into a slot index; len(slots)
+// is a power of two. Deriving the mask from the length the indexing
+// already loads keeps it off every ring's footprint. Caller must know
+// slots is non-empty (count > 0, or appendLocked after re-materialise).
+func (r *ring) slotMask() uint64 { return uint64(len(r.slots)) - 1 }
 
 // coldBlock is one immutable compressed span of sealed deliveries.
 type coldBlock struct {
@@ -357,10 +383,7 @@ func (s *Store) shardFor(id wire.StreamID) *shard {
 func (sh *shard) lookupSlowLocked(id wire.StreamID) *ring {
 	r, ok := sh.streams[id]
 	if !ok {
-		r = &ring{
-			slots: make([]filtering.Delivery, minRingSize),
-			mask:  minRingSize - 1,
-		}
+		r = &ring{slots: make([]filtering.Delivery, minRingSize)}
 		sh.streams[id] = r
 	}
 	sh.lastID, sh.last = id, r
@@ -370,7 +393,7 @@ func (sh *shard) lookupSlowLocked(id wire.StreamID) *ring {
 // presentLocked reports whether ext is occupied in r.
 func (r *ring) presentLocked(ext uint64) bool {
 	return r.count > 0 && ext >= r.minExt && ext <= r.maxExt &&
-		r.slots[ext&r.mask].StoreSeq == ext
+		r.slots[ext&r.slotMask()].StoreSeq == ext
 }
 
 // Append retains one delivery and returns its extended sequence. The
@@ -417,6 +440,10 @@ func (s *Store) appendLocked(sh *shard, d filtering.Delivery) uint64 {
 	if r == nil || sh.lastID != d.Msg.Stream {
 		r = sh.lookupSlowLocked(d.Msg.Stream)
 	}
+	if r.slots == nil {
+		// Forget released the ring's backing; the stream resumed.
+		r.slots = make([]filtering.Delivery, minRingSize)
+	}
 
 	// Unwrap the 16-bit wire sequence into the 64-bit address space.
 	var ext uint64
@@ -459,7 +486,7 @@ func (s *Store) appendLocked(sh *shard, d filtering.Delivery) uint64 {
 	}
 	// ext ≤ maxExt and ≥ minExt here when filling a gap.
 
-	slot := &r.slots[ext&r.mask]
+	slot := &r.slots[ext&r.slotMask()]
 	if slot.StoreSeq == ext && r.presentLocked(ext) {
 		// Duplicate append of a retained sequence (the filter screens
 		// these out upstream; be idempotent anyway): replace in place,
@@ -484,7 +511,7 @@ func (s *Store) appendLocked(sh *shard, d filtering.Delivery) uint64 {
 	// With compression enabled these retirements seal into the cold tier
 	// instead of dropping, so the hot bounds govern only the uncompressed
 	// working set.
-	for r.count > s.opts.MaxMessages {
+	for int(r.count) > s.opts.MaxMessages {
 		s.retireLowestLocked(sh, r, &sh.evictedCount)
 	}
 	if s.opts.MaxBytes > 0 {
@@ -495,7 +522,7 @@ func (s *Store) appendLocked(sh *shard, d filtering.Delivery) uint64 {
 	if s.opts.MaxAge > 0 {
 		cutoff := d.At.Add(-s.opts.MaxAge)
 		for r.count > 1 {
-			old := &r.slots[r.oldestLocked()&r.mask]
+			old := &r.slots[r.oldestLocked()&r.slotMask()]
 			if !old.At.Before(cutoff) {
 				break
 			}
@@ -509,15 +536,14 @@ func (s *Store) appendLocked(sh *shard, d filtering.Delivery) uint64 {
 // sequences are stable; only the slot mapping changes). Caller holds mu.
 func (r *ring) growLocked(sh *shard) {
 	old := r.slots
-	oldMask := r.mask
+	oldMask := uint64(len(old)) - 1
 	r.slots = make([]filtering.Delivery, len(old)*2)
-	r.mask = uint64(len(r.slots)) - 1
 	if r.count == 0 {
 		return
 	}
 	for ext := r.minExt; ext <= r.maxExt; ext++ {
 		if e := old[ext&oldMask]; e.StoreSeq == ext {
-			r.slots[ext&r.mask] = e
+			r.slots[ext&r.slotMask()] = e
 		}
 	}
 }
@@ -551,7 +577,7 @@ func (s *Store) retireLowestLocked(sh *shard, r *ring, reason *int64) {
 // the occupancy marker and accounting change. Caller holds mu.
 func (sh *shard) dropLowestLocked(r *ring, reason *int64) {
 	ext := r.oldestLocked()
-	slot := &r.slots[ext&r.mask]
+	slot := &r.slots[ext&r.slotMask()]
 	r.bytes -= int64(len(slot.Msg.Payload))
 	sh.retainedBytes.Add(-int64(len(slot.Msg.Payload)))
 	slot.StoreSeq = 0
@@ -575,7 +601,7 @@ func (s *Store) sealLowestLocked(sh *shard, r *ring) {
 		r.stage = make([]filtering.Delivery, 0, s.blockSize)
 	}
 	ext := r.oldestLocked()
-	slot := &r.slots[ext&r.mask]
+	slot := &r.slots[ext&r.slotMask()]
 	n := len(r.stage)
 	r.stage = r.stage[:n+1]
 	st := &r.stage[n]
@@ -615,7 +641,7 @@ func (s *Store) sealStageLocked(sh *shard, r *ring) {
 	r.cold = append(r.cold, b)
 	r.coldBytes += int64(len(data))
 	r.coldRaw += b.rawBytes
-	r.coldCount += b.count
+	r.coldCount += int32(b.count)
 	sh.sealedBlocks++
 	sh.sealedMsgs += int64(b.count)
 	r.stage = r.stage[:0] // spare elements keep their payload buffers
@@ -631,7 +657,7 @@ func (sh *shard) dropOldestColdLocked(r *ring, reason *int64) {
 	b := &r.cold[0]
 	r.coldBytes -= int64(len(b.data))
 	r.coldRaw -= b.rawBytes
-	r.coldCount -= b.count
+	r.coldCount -= int32(b.count)
 	sh.retainedMessages.Add(-int64(b.count))
 	sh.retainedBytes.Add(-b.rawBytes)
 	*reason += int64(b.count)
@@ -790,7 +816,7 @@ func (r *ring) visitWarmLocked(from, to uint64, fn func(d filtering.Delivery) bo
 		hi = r.maxExt
 	}
 	for ext := lo; ext <= hi; ext++ {
-		if r.presentLocked(ext) && !fn(r.slots[ext&r.mask]) {
+		if r.presentLocked(ext) && !fn(r.slots[ext&r.slotMask()]) {
 			return false
 		}
 	}
@@ -893,7 +919,7 @@ func (s *Store) Latest(id wire.StreamID) (filtering.Delivery, bool) {
 	if !ok || r.count == 0 {
 		return filtering.Delivery{}, false
 	}
-	d := r.slots[r.maxExt&r.mask]
+	d := r.slots[r.maxExt&r.slotMask()]
 	d.Msg.Payload = append([]byte(nil), d.Msg.Payload...)
 	return d, true
 }
@@ -923,7 +949,7 @@ func (s *Store) Snapshot(pred func(wire.StreamID) bool) []filtering.Delivery {
 			if r.count == 0 || (pred != nil && !pred(id)) {
 				continue
 			}
-			d := r.slots[r.maxExt&r.mask]
+			d := r.slots[r.maxExt&r.slotMask()]
 			d.Msg.Payload = append([]byte(nil), d.Msg.Payload...)
 			out = append(out, d)
 		}
@@ -1006,7 +1032,7 @@ func (s *Store) splitColdBlockLocked(sh *shard, r *ring, upto uint64) {
 	b.rawBytes -= droppedRaw
 	r.coldBytes += int64(len(b.data)) - oldLen
 	r.coldRaw -= droppedRaw
-	r.coldCount -= dropped
+	r.coldCount -= int32(dropped)
 	sh.retainedMessages.Add(-int64(dropped))
 	sh.retainedBytes.Add(-droppedRaw)
 	sh.forgotten += int64(dropped)
@@ -1016,7 +1042,12 @@ func (s *Store) splitColdBlockLocked(sh *shard, r *ring, upto uint64) {
 // Forget drops every retained delivery on the stream — all three tiers,
 // credited to Stats.Forgotten — while keeping its sequence-unwrap state,
 // so addresses never move backwards if the stream resumes. The Orphanage
-// calls this when it evicts an unclaimed stream.
+// calls this when it evicts an unclaimed stream, so Forget is the moment
+// a dead stream's memory must actually return to the heap: the slot ring,
+// seal stage and cold-block slice (with their parked payload buffers) are
+// released, not just emptied, leaving only the 144-byte ring header
+// behind the unwrap state. A resumed stream re-materialises its ring in
+// appendLocked.
 func (s *Store) Forget(id wire.StreamID) int {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
@@ -1025,8 +1056,9 @@ func (s *Store) Forget(id wire.StreamID) int {
 	if !ok {
 		return 0
 	}
-	n := r.count + len(r.stage) + r.coldCount
+	n := int(r.count) + len(r.stage) + int(r.coldCount)
 	sh.evictAllLocked(r, &sh.forgotten)
+	r.slots, r.stage, r.cold = nil, nil, nil
 	return n
 }
 
@@ -1060,13 +1092,22 @@ func (s *Store) StreamStats(id wire.StreamID) (StreamStats, bool) {
 	st := StreamStats{
 		Stream:       id,
 		NextWire:     r.lastWire + 1,
-		Count:        r.count + len(r.stage) + r.coldCount,
+		Count:        int(r.count) + len(r.stage) + int(r.coldCount),
 		Bytes:        r.bytes + r.stageBytes + r.coldRaw,
 		ColdBlocks:   len(r.cold),
-		ColdMessages: r.coldCount,
+		ColdMessages: int(r.coldCount),
 		ColdBytes:    r.coldBytes,
 		ColdRawBytes: r.coldRaw,
 	}
+	const (
+		headerSize = int64(unsafe.Sizeof(ring{}))
+		slotSize   = int64(unsafe.Sizeof(filtering.Delivery{}))
+		blockSize  = int64(unsafe.Sizeof(coldBlock{}))
+	)
+	st.ResidentBytes = headerSize +
+		int64(cap(r.slots))*slotSize + r.bytes +
+		int64(cap(r.stage))*slotSize + r.stageBytes +
+		int64(cap(r.cold))*blockSize + r.coldBytes
 	if n := len(r.cold); n > 0 {
 		if c, ok := codec.ByID(r.cold[n-1].codec); ok {
 			st.Codec = c.Name()

@@ -446,3 +446,53 @@ func TestStatsInvariantUnderConcurrentAppend(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+func TestIdleStreamRingIsOneSlot(t *testing.T) {
+	s := New(Options{})
+	id := wire.MustStreamID(1, 0)
+	s.Append(del(id, 1, epoch, []byte{1}))
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	n := len(sh.streams[id].slots)
+	sh.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("idle stream ring has %d slots, want 1", n)
+	}
+}
+
+func TestForgetReleasesBacking(t *testing.T) {
+	s := New(Options{Codec: "raw", BlockSize: 4, MaxMessages: 8})
+	id := wire.MustStreamID(1, 0)
+	for i := 0; i < 40; i++ {
+		s.Append(del(id, wire.Seq(i), epoch, []byte{byte(i)}))
+	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	r := sh.streams[id]
+	populated := len(r.slots) > 0 && len(r.cold) > 0
+	sh.mu.Unlock()
+	if !populated {
+		t.Fatal("setup did not populate hot ring and cold tier")
+	}
+	s.Forget(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if r.slots != nil || r.stage != nil || r.cold != nil {
+		t.Fatalf("Forget kept backing: slots=%d stage=%d cold=%d",
+			len(r.slots), len(r.stage), len(r.cold))
+	}
+	if r.lastExt == 0 {
+		t.Fatal("Forget lost the unwrap state")
+	}
+	sh.mu.Unlock()
+	ss, ok := s.StreamStats(id)
+	sh.mu.Lock()
+	if !ok {
+		t.Fatal("forgotten stream lost its StreamStats entry")
+	}
+	// The resident estimate must collapse to the bare ring header: the
+	// unwrap state survives, the backing does not.
+	if want := int64(unsafe.Sizeof(ring{})); ss.ResidentBytes != want {
+		t.Fatalf("forgotten stream resident %d B, want header-only %d B", ss.ResidentBytes, want)
+	}
+}
