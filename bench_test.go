@@ -557,6 +557,11 @@ func BenchmarkE21RadioPartition(b *testing.B) { benchExperiment(b, "E21") }
 // consumer sheds exactly per policy; healthy consumers lose nothing).
 func BenchmarkE22SlowConsumer(b *testing.B) { benchExperiment(b, "E22") }
 
+// BenchmarkE23ArchivedLateJoiners regenerates the archived late-joiner
+// table (replay from history that lives ≥90% in the durable archive
+// tier, ordering enforced, restart over the same backend re-served).
+func BenchmarkE23ArchivedLateJoiners(b *testing.B) { benchExperiment(b, "E23") }
+
 // BenchmarkE16DemandStorm regenerates the control-plane demand-storm
 // table (concurrent consumers churning demands plus live data traffic).
 func BenchmarkE16DemandStorm(b *testing.B) { benchExperiment(b, "E16") }

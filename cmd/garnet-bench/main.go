@@ -13,6 +13,9 @@
 //	garnet-bench -perf -baseline BENCH_pipeline.json
 //	                              # ...and diff the fresh run against a
 //	                              # committed report, per-scenario msgs/s
+//	garnet-bench -perf -baseline BENCH_pipeline.json,BENCH_store.json
+//	                              # ...against several committed reports
+//	                              # at once (one per area)
 //	garnet-bench -perf -baseline BENCH_pipeline.json -max-regress 10
 //	                              # ...and exit non-zero when any cell
 //	                              # regresses more than 10% (CI gate)
@@ -53,7 +56,7 @@ func run() error {
 			"run the multicore perf sweep and emit BENCH_dispatch.json / BENCH_pipeline.json instead of experiment tables")
 		outDir   = flag.String("out", ".", "output directory for -perf/-scale BENCH_*.json files")
 		baseline = flag.String("baseline", "",
-			"committed BENCH_*.json to diff the fresh -perf run against (per-scenario msgs/s deltas)")
+			"comma-separated committed BENCH_*.json reports to diff the fresh -perf run against (per-scenario msgs/s deltas)")
 		maxRegress = flag.Float64("max-regress", 0,
 			"with -perf -baseline: exit non-zero when any matched cell's msgs/s drops more than this percentage")
 		scenario = flag.String("scenario", "",
@@ -103,19 +106,29 @@ func run() error {
 		} else {
 			fmt.Fprintf(os.Stdout, "perf scenarios (%s sweep): %s\n", mode, strings.Join(names, " "))
 		}
-		// Load the baseline before the sweep runs: -out may point at the
-		// directory holding the baseline itself, and the comparison must
-		// be against the committed numbers, not the freshly overwritten
-		// file.
-		var base *perfharness.Report
-		if *baseline != "" {
-			r, err := loadReport(*baseline)
-			if err != nil {
-				return fmt.Errorf("baseline: %w", err)
-			}
-			base = &r
+		// Load every baseline before the sweep runs: -out may point at
+		// the directory holding the baselines themselves, and the
+		// comparison must be against the committed numbers, not the
+		// freshly overwritten files.
+		type namedBaseline struct {
+			path string
+			rep  perfharness.Report
 		}
-		dp, pp, err := perfharness.WriteReports(perfharness.Options{
+		var bases []namedBaseline
+		if *baseline != "" {
+			for _, p := range strings.Split(*baseline, ",") {
+				p = strings.TrimSpace(p)
+				if p == "" {
+					continue
+				}
+				r, err := loadReport(p)
+				if err != nil {
+					return fmt.Errorf("baseline: %w", err)
+				}
+				bases = append(bases, namedBaseline{path: p, rep: r})
+			}
+		}
+		dp, pp, sp, err := perfharness.WriteReports(perfharness.Options{
 			Quick:    *quick,
 			OutDir:   *outDir,
 			Scenario: *scenario,
@@ -126,13 +139,16 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		for _, p := range []string{dp, pp} {
+		for _, p := range []string{dp, pp, sp} {
 			if p != "" {
 				fmt.Fprintf(os.Stdout, "wrote %s\n", p)
 			}
 		}
-		if base != nil {
-			return diffBaseline(*baseline, *base, dp, pp, *maxRegress)
+		freshByArea := map[string]string{"dispatch": dp, "pipeline": pp, "store": sp}
+		for _, b := range bases {
+			if err := diffBaseline(b.path, b.rep, freshByArea, *maxRegress); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -171,14 +187,12 @@ func loadReport(path string) (perfharness.Report, error) {
 
 // diffBaseline prints per-scenario msgs/s deltas between a committed
 // baseline report (loaded before the sweep ran) and the fresh report of
-// the same area, which the run just wrote to dispatchPath/pipelinePath.
-// When maxRegress > 0, any matched cell whose msgs/s dropped more than
-// that percentage fails the run — the CI regression gate.
-func diffBaseline(baselinePath string, base perfharness.Report, dispatchPath, pipelinePath string, maxRegress float64) error {
-	freshPath := dispatchPath
-	if base.Area == "pipeline" {
-		freshPath = pipelinePath
-	}
+// the same area, which the run just wrote to the path freshByArea maps
+// the baseline's area to. When maxRegress > 0, any matched cell whose
+// msgs/s dropped more than that percentage fails the run — the CI
+// regression gate.
+func diffBaseline(baselinePath string, base perfharness.Report, freshByArea map[string]string, maxRegress float64) error {
+	freshPath := freshByArea[base.Area]
 	if freshPath == "" {
 		return fmt.Errorf("baseline %s is a %s report but the run produced no %s results",
 			baselinePath, base.Area, base.Area)

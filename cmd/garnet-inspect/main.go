@@ -12,12 +12,19 @@
 // retention layer, including duplicate collapse and eviction under a
 // chosen retention bound.
 //
+// The -archive mode scans an on-disk archive directory (the durable
+// tier a deployment spills sealed blocks into) without opening it for
+// writing: segment/manifest structure per shard, per-stream archived
+// ranges with compression ratios, and torn tails left by a crash —
+// the post-mortem view of what a restarted deployment will recover.
+//
 // Usage:
 //
 //	garnet-inspect 4a00000...              # decode a data frame
 //	garnet-inspect -control 40001...       # decode a control frame
 //	garnet-inspect -store -retain 4 f1 f2  # retention view of a trace
 //	garnet-inspect -store -codec auto f1   # … with the cold compressed tier on
+//	garnet-inspect -archive ./archive      # scan a durable archive directory
 //	echo 4a0000... | garnet-inspect        # read hex from stdin
 package main
 
@@ -33,6 +40,7 @@ import (
 
 	"github.com/garnet-middleware/garnet/internal/filtering"
 	"github.com/garnet-middleware/garnet/internal/store"
+	"github.com/garnet-middleware/garnet/internal/store/archive"
 	"github.com/garnet-middleware/garnet/internal/store/codec"
 	"github.com/garnet-middleware/garnet/internal/wire"
 )
@@ -51,6 +59,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	storeDump := fs.Bool("store", false, "feed data frames through a Stream Store and dump the retention view")
 	retain := fs.Int("retain", 0, "per-stream retention bound for -store (0 = default)")
 	codecName := fs.String("codec", "", "cold-tier codec for -store: auto, gorilla, rle, lz or raw (\"\" = compression off)")
+	archiveDir := fs.String("archive", "", "scan an on-disk archive directory instead of decoding frames")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // usage already printed; -h is not an error
@@ -59,6 +68,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	if *control && *storeDump {
 		return fmt.Errorf("-control and -store are mutually exclusive")
+	}
+	if *archiveDir != "" {
+		if *control || *storeDump {
+			return fmt.Errorf("-archive is mutually exclusive with -control and -store")
+		}
+		if len(fs.Args()) != 0 {
+			return fmt.Errorf("-archive takes a directory, not frames")
+		}
+		return inspectArchive(stdout, *archiveDir)
 	}
 	if *codecName != "" {
 		if !*storeDump {
@@ -157,6 +175,57 @@ func inspectControl(w io.Writer, frame []byte) error {
 	}
 	fmt.Fprintf(w, "  value     %d\n", c.Value)
 	fmt.Fprintf(w, "  issued    %v\n", c.Issued)
+	return nil
+}
+
+// inspectArchive scans a durable archive directory read-only and prints
+// what a restarted deployment would recover from it: per-shard
+// segment/manifest structure (flagging torn tails a crash left behind)
+// and per-stream archived ranges with compression ratios.
+func inspectArchive(w io.Writer, dir string) error {
+	rep, err := archive.ScanFS(dir)
+	if err != nil {
+		return err
+	}
+	var blocks int
+	var count, rawBytes, compBytes int64
+	for _, s := range rep.Streams {
+		blocks += s.Blocks
+		count += s.Count
+		rawBytes += s.RawBytes
+		compBytes += s.Bytes
+	}
+	fmt.Fprintf(w, "archive scan: %d streams, %d blocks, %d messages, %d B compressed from %d B raw\n",
+		len(rep.Streams), blocks, count, compBytes, rawBytes)
+	torn := 0
+	for _, sh := range rep.Shards {
+		if sh.Records == 0 && sh.SegBytes == 0 && !sh.TornManifest {
+			continue // never written
+		}
+		fmt.Fprintf(w, "  shard %02d: %d manifest records, %d of %d segment B committed",
+			sh.Index, sh.Records, sh.Committed, sh.SegBytes)
+		if sh.TornManifest {
+			fmt.Fprintf(w, ", TORN manifest tail")
+			torn++
+		}
+		if sh.TornRefs > 0 {
+			fmt.Fprintf(w, ", %d TORN block ref(s)", sh.TornRefs)
+			torn++
+		}
+		fmt.Fprintln(w)
+	}
+	for _, s := range rep.Streams {
+		if s.Blocks == 0 {
+			fmt.Fprintf(w, "stream %v: empty (floor %d)\n", s.Stream, s.Floor)
+			continue
+		}
+		fmt.Fprintf(w, "stream %v: %d archived in %d blocks, store seq %d..%d, floor %d, %d B from %d B raw (×%.1f)\n",
+			s.Stream, s.Count, s.Blocks, s.FirstSeq, s.LastSeq, s.Floor, s.Bytes, s.RawBytes,
+			float64(s.RawBytes)/float64(s.Bytes))
+	}
+	if torn > 0 {
+		fmt.Fprintf(w, "torn state in %d shard(s): the next open recovers to the last complete block\n", torn)
+	}
 	return nil
 }
 

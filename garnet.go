@@ -51,6 +51,7 @@ import (
 	"github.com/garnet-middleware/garnet/internal/registry"
 	"github.com/garnet-middleware/garnet/internal/resource"
 	"github.com/garnet-middleware/garnet/internal/sensor"
+	"github.com/garnet-middleware/garnet/internal/store/archive"
 	"github.com/garnet-middleware/garnet/internal/transmit"
 	"github.com/garnet-middleware/garnet/internal/wire"
 )
@@ -194,6 +195,68 @@ func WithStoreCompression(codec string, coldBudget int64) Option {
 	return func(cfg *core.Config) {
 		cfg.Store.Codec = codec
 		cfg.Store.ColdBudget = coldBudget
+	}
+}
+
+// ArchiveBackend is the durable block store the Stream Store's archive
+// tier spills to; see the archive package for the contract. Use
+// NewFSArchive for the filesystem reference implementation or
+// NewMemArchive for a volatile one.
+type ArchiveBackend = archive.Backend
+
+// NewFSArchive opens (or creates) a filesystem archive backend rooted at
+// dir: per-shard append-only segment files carrying the store's
+// compressed block wire format, indexed by a CRC-framed manifest that
+// recovery replays to the last complete record — a torn tail truncates,
+// it never corrupts. The same directory re-opened by a restarted
+// deployment serves the history archived before the crash.
+func NewFSArchive(dir string) (ArchiveBackend, error) {
+	return archive.OpenFS(dir)
+}
+
+// NewMemArchive returns an in-memory archive backend: the full Backend
+// contract with no durability, for tests and experiments. Sharing one
+// across two deployments stands in for a restart.
+func NewMemArchive() ArchiveBackend {
+	return archive.NewMem()
+}
+
+// WithArchive attaches a durable archive tier to the Stream Store: cold
+// compressed blocks that the WithStoreCompression budget would discard
+// are spilled to the backend by an async per-shard archiver instead, and
+// Range, Replay, SubscribeWithReplay and the window queries stitch
+// archive → cold → hot → live transparently. Implies
+// WithStoreCompression("auto", default budget) when no codec was chosen —
+// the archive files sealed blocks, so sealing must be on. On
+// construction the store recovers the backend's manifest and serves
+// archived history for streams it has never seen live. See README,
+// "Archive tier".
+func WithArchive(b ArchiveBackend) Option {
+	return func(cfg *core.Config) {
+		cfg.Store.Archive = b
+	}
+}
+
+// WithArchiveRetention bounds the archive tier per stream: blocks whose
+// newest entry is older than maxAge relative to the newest archived
+// entry, or beyond maxBytes of encoded bytes, are deleted oldest-first
+// at spill commit (Stats.EvictedArchive). Zero disables a bound; the
+// newest archived block always survives.
+func WithArchiveRetention(maxAge time.Duration, maxBytes int64) Option {
+	return func(cfg *core.Config) {
+		cfg.Store.ArchiveMaxAge = maxAge
+		cfg.Store.ArchiveMaxBytes = maxBytes
+	}
+}
+
+// WithArchiveSync makes archive spills synchronous: the sealing append
+// blocks until the backend write completes instead of handing the block
+// to the per-shard archiver goroutine. Deterministic (single-threaded
+// tests, virtual clocks) at the cost of backend latency on the append
+// path.
+func WithArchiveSync() Option {
+	return func(cfg *core.Config) {
+		cfg.Store.ArchiveSync = true
 	}
 }
 

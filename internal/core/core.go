@@ -343,6 +343,7 @@ func (d *Deployment) Stop() {
 	d.filter.Flush()
 	d.acts.Stop()
 	d.dispatcher.Stop()
+	d.st.Close()
 }
 
 // SubmitDemand runs one demand through admission control and actuates the

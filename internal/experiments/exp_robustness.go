@@ -11,9 +11,12 @@ import (
 	"github.com/garnet-middleware/garnet/internal/field"
 	"github.com/garnet-middleware/garnet/internal/filtering"
 	"github.com/garnet-middleware/garnet/internal/geo"
+	"github.com/garnet-middleware/garnet/internal/orphanage"
 	"github.com/garnet-middleware/garnet/internal/receiver"
 	"github.com/garnet-middleware/garnet/internal/sensor"
 	"github.com/garnet-middleware/garnet/internal/sim"
+	"github.com/garnet-middleware/garnet/internal/store"
+	"github.com/garnet-middleware/garnet/internal/store/archive"
 	"github.com/garnet-middleware/garnet/internal/wire"
 )
 
@@ -32,13 +35,18 @@ import (
 // claim under test is that churn leaves no residue: no armed timers, no
 // per-stream state in filter or store, no held orphans, no live
 // subscriptions, and the filter/store accounting identities hold exactly.
+// The store runs with its full tier stack — compression on and a durable
+// archive behind a one-byte cold budget — so Forget must reclaim spilled
+// blocks too, and the extended conservation identity (retained +
+// archived − recovered == appended − every loss reason) is enforced as a
+// hard failure, not a table cell to eyeball.
 func runE20(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:    "E20",
 		Title: "Churn storm: cohort and subscription churn leave no residue",
 		Claim: "§4.2 long-lived middleware: sensors and consumers come and go; per-stream state must be reclaimable exactly, not approximately",
 		Columns: []string{
-			"sensors", "rounds", "injected", "delivered", "stats err",
+			"sensors", "rounds", "injected", "delivered", "archived", "stats err",
 			"store err", "leaked timers", "leaked streams", "orphans held", "subs left",
 		},
 	}
@@ -53,6 +61,15 @@ func runE20(cfg Config) (*Table, error) {
 			Clock:  clock,
 			Secret: []byte("e20"),
 			Filter: filtering.Options{ReorderWindow: 50 * time.Millisecond},
+			// Tight bounds force the full tier walk during churn: a
+			// four-entry hot window evicts into two-entry sealed blocks,
+			// and a one-byte cold budget spills every sealed block to the
+			// durable archive through the async per-shard archivers.
+			Orphanage: orphanage.Options{PerStreamCapacity: 4},
+			Store: store.Options{
+				MaxMessages: 4, Codec: "auto", BlockSize: 2, ColdBudget: 1,
+				Archive: archive.NewMem(),
+			},
 		})
 		d.Start()
 
@@ -100,6 +117,12 @@ func runE20(cfg Config) (*Table, error) {
 				}
 				inject(6)
 				inject(2)
+				// A second in-order burst pushes every stream past one
+				// sealed block, so the cold budget spills the older block
+				// into the archive tier mid-churn.
+				for seq := wire.Seq(7); seq <= 10; seq++ {
+					inject(seq)
+				}
 			}
 			// Let the reorder timers of the unfilled gaps fire.
 			clock.Advance(100 * time.Millisecond)
@@ -108,9 +131,19 @@ func runE20(cfg Config) (*Table, error) {
 			}
 		}
 
+		// Snapshot the archive tier before the sweep tears it down: churn
+		// must actually have spilled blocks for the reclamation claim to
+		// mean anything.
+		pre := d.Store().Stats()
+		spilled := pre.ArchivedMessages + int64(pre.ArchivePendingBlocks)
+		if spilled == 0 {
+			return nil, fmt.Errorf("E20: churn never reached the archive tier: %+v", pre)
+		}
+
 		// Tear down: drain the reorder backlogs, sweep the orphanage
 		// (which forgets its streams in the store), then forget every
-		// stream in filter and store directly.
+		// stream in filter and store directly — hot window, sealed cold
+		// blocks and durably archived blocks alike.
 		d.Filter().Flush()
 		d.Orphanage().EvictBefore(clock.Now().Add(time.Hour))
 		for _, id := range ids {
@@ -122,16 +155,22 @@ func runE20(cfg Config) (*Table, error) {
 		fs := d.Filter().Stats()
 		statsErr := fs.Received - fs.Delivered - fs.Duplicates - fs.Stale
 		ss := d.Store().Stats()
-		storeErr := ss.RetainedMessages - (ss.Appended - ss.Duplicates - ss.DroppedBehind -
-			ss.EvictedCount - ss.EvictedBytes - ss.EvictedAge - ss.EvictedCold - ss.Forgotten)
+		storeErr := (ss.RetainedMessages + ss.ArchivedMessages - ss.ArchiveRecovered) -
+			(ss.Appended - ss.Duplicates - ss.DroppedBehind -
+				ss.EvictedCount - ss.EvictedBytes - ss.EvictedAge - ss.EvictedCold -
+				ss.EvictedArchive - ss.ArchiveFailed - ss.Forgotten)
+		if storeErr != 0 {
+			return nil, fmt.Errorf("E20: store conservation identity off by %d: %+v", storeErr, ss)
+		}
 		leakedStreams := fs.ActiveStreams + ss.Streams
-		t.AddRow(cohort, rounds, injected, fs.Delivered, statsErr, storeErr,
+		t.AddRow(cohort, rounds, injected, fs.Delivered, spilled, statsErr, storeErr,
 			clock.Pending(), leakedStreams, d.Orphanage().Stats().StreamsHeld,
 			d.Dispatcher().Stats().Subscriptions)
 	}
 	t.Notes = append(t.Notes,
 		"each round injects in-order runs, held reorder gaps (some timer-released, some late-filled) and duplicates, then unsubscribes",
-		"stats err: filter Received − Delivered − Duplicates − Stale; store err: the retained-gauge reconciliation — both must be 0",
+		"store runs hot→cold→archive: compression on, 1 B cold budget, async archiver to an in-memory archive backend",
+		"stats err: filter Received − Delivered − Duplicates − Stale; store err: retained + archived − recovered vs appended − losses — both enforced 0",
 		"leaked timers/streams, orphans held and subs left must all drain to 0 after Flush/EvictBefore/Forget")
 	return t, nil
 }

@@ -135,6 +135,7 @@ func All() []Experiment {
 		{"E20", "Churn storm: cohort and subscription churn leave no residue", runE20},
 		{"E21", "Radio partition: exact gap accounting and replay catch-up", runE21},
 		{"E22", "Slow consumer: bounded-queue backpressure accounting", runE22},
+		{"E23", "Archived late-joiners: replay across the durable archive tier", runE23},
 		{"X1", "Multi-hop relaying — §8 future-work extension", runX1},
 	}
 }

@@ -5,9 +5,11 @@
 // the lock-free delivery ring against its retained mutex-queue twin and
 // the batched ingest paths (multi-slot ring claims, shard-run store
 // appends, the shard-grouped batched pipeline) swept across batch
-// sizes, and emits schema-stable BENCH_dispatch.json and
-// BENCH_pipeline.json so the perf trajectory of future PRs is
-// measured, not asserted.
+// sizes — plus the archive tier's durable retention tee (append →
+// seal → async spill → durable commit) and its cold-miss read path —
+// and emits schema-stable BENCH_dispatch.json, BENCH_pipeline.json and
+// BENCH_store.json so the perf trajectory of future PRs is measured,
+// not asserted.
 //
 // Numbers are wall-clock and therefore host-dependent; the reports
 // record GOMAXPROCS, the host CPU count and the date so a reader can
@@ -32,6 +34,7 @@ import (
 	"github.com/garnet-middleware/garnet/internal/resource"
 	"github.com/garnet-middleware/garnet/internal/ring"
 	"github.com/garnet-middleware/garnet/internal/store"
+	"github.com/garnet-middleware/garnet/internal/store/archive"
 	"github.com/garnet-middleware/garnet/internal/wire"
 )
 
@@ -65,6 +68,8 @@ var registry = []scenario{
 	{"store_tee", "pipeline", true, runStoreTee},
 	{"store_append_batch", "pipeline", true, runStoreAppendBatch},
 	{"control_submit", "pipeline", true, runControlSubmit},
+	{"store_archive_spill", "store", true, runStoreArchiveSpill},
+	{"store_archive_range", "store", false, runStoreArchiveRange},
 }
 
 func scenarioByName(name string) (scenario, bool) {
@@ -127,12 +132,12 @@ type Options struct {
 	// Quick shrinks the sweep (shards {1,16} × procs {1,4}, fewer
 	// messages) for CI smoke jobs.
 	Quick bool
-	// OutDir receives BENCH_dispatch.json and BENCH_pipeline.json;
-	// empty means the current directory.
+	// OutDir receives BENCH_dispatch.json, BENCH_pipeline.json and
+	// BENCH_store.json; empty means the current directory.
 	OutDir string
 	// Scenario, when non-empty, restricts the run to the one named
-	// registry scenario — the local-iteration loop. The report of the
-	// other area is then empty and is not written.
+	// registry scenario — the local-iteration loop. The reports of the
+	// other areas are then empty and are not written.
 	Scenario string
 	// Log, when non-nil, receives one line per measured cell.
 	Log func(format string, args ...any)
@@ -574,6 +579,88 @@ func benchStoreAppendBatch(batch, shards, procs, msgs int) Result {
 	return res
 }
 
+// benchStoreArchiveSpill is the durable retention tee: every publisher
+// appends to its own stream while a 1-byte cold budget pushes every
+// sealed block except the newest through the async archiver into an
+// in-memory backend, and the closing drain sits inside the measured
+// window — the cell is end-to-end append→seal→spill→durable-commit.
+// The append path must stay at 0 allocs/op with the archiver enabled —
+// Validate enforces it (the amortised seal/spill cost rides inside the
+// same AllocTolerance bar).
+func benchStoreArchiveSpill(shards, procs, msgs int) Result {
+	st := store.New(store.Options{
+		Shards: shards, MaxMessages: 1024,
+		Codec: "raw", BlockSize: 256, ColdBudget: 1,
+		Archive: archive.NewMem(),
+	})
+	streams := make([]wire.StreamID, publishers)
+	for i := range streams {
+		streams[i] = wire.MustStreamID(wire.SensorID(i+1), 0)
+	}
+	// Warm past the growth phases of every tier: ring spans, the seal
+	// buffers, the pending-spill slices and the backend's per-stream
+	// state all reach steady capacity before the window opens.
+	for p := range streams {
+		for i := 0; i < 4096; i++ {
+			st.Append(filtering.Delivery{
+				Msg: wire.Message{Stream: streams[p], Seq: wire.Seq(i)},
+			})
+		}
+	}
+	return measure("store_archive_spill", "", shards, procs, publishers, msgs, func() {
+		fanOut(publishers, msgs, func(p, i int) {
+			st.Append(filtering.Delivery{
+				Msg: wire.Message{Stream: streams[p], Seq: wire.Seq(4096 + i)},
+			})
+		})
+		st.Close() // waits for the archivers: the cell includes the drain
+	})
+}
+
+// benchStoreArchiveRange is the cold-miss read path: each stream keeps
+// a 128-message hot window while the rest of its 4096-message history
+// lives in archived blocks, and every publisher-turned-reader replays
+// its full archive→cold→hot span through RangeFunc until its share of
+// the message budget is consumed. Decode scratch is pooled but the
+// path is not held to the 0-alloc bar.
+func benchStoreArchiveRange(shards, procs, msgs int) Result {
+	st := store.New(store.Options{
+		Shards: shards, MaxMessages: 128,
+		Codec: "raw", BlockSize: 64, ColdBudget: 1,
+		Archive: archive.NewMem(), ArchiveSync: true,
+	})
+	defer st.Close()
+	streams := make([]wire.StreamID, publishers)
+	for i := range streams {
+		streams[i] = wire.MustStreamID(wire.SensorID(i+1), 0)
+		for seq := 0; seq < 4096; seq++ {
+			st.Append(filtering.Delivery{
+				Msg: wire.Message{Stream: streams[i], Seq: wire.Seq(seq)},
+			})
+		}
+	}
+	return measure("store_archive_range", "", shards, procs, publishers, msgs, func() {
+		var wg sync.WaitGroup
+		for p := 0; p < publishers; p++ {
+			n := msgs / publishers
+			if p < msgs%publishers {
+				n++
+			}
+			wg.Add(1)
+			go func(p, n int) {
+				defer wg.Done()
+				for n > 0 {
+					st.RangeFunc(streams[p], 0, ^uint64(0), func(d filtering.Delivery) bool {
+						n--
+						return n > 0
+					})
+				}
+			}(p, n)
+		}
+		wg.Wait()
+	})
+}
+
 // benchControlSubmit is the return path's approved-no-change fast path:
 // consumers re-asserting standing demands. 0 allocs/op — Validate
 // enforces it.
@@ -675,9 +762,26 @@ func runControlSubmit(o Options, emit func(Result)) {
 	}
 }
 
-// Run executes every registered scenario in order and returns the two
-// reports in BENCH_dispatch.json, BENCH_pipeline.json order.
-func Run(opts Options) (dispatchReport, pipelineReport Report) {
+func runStoreArchiveSpill(o Options, emit func(Result)) {
+	for _, shards := range o.shardSweep() {
+		for _, procs := range o.procSweep() {
+			emit(benchStoreArchiveSpill(shards, procs, o.msgs()))
+		}
+	}
+}
+
+func runStoreArchiveRange(o Options, emit func(Result)) {
+	for _, shards := range o.shardSweep() {
+		for _, procs := range o.procSweep() {
+			emit(benchStoreArchiveRange(shards, procs, o.msgs()))
+		}
+	}
+}
+
+// Run executes every registered scenario in order and returns the
+// three reports in BENCH_dispatch.json, BENCH_pipeline.json,
+// BENCH_store.json order.
+func Run(opts Options) (dispatchReport, pipelineReport, storeReport Report) {
 	newReport := func(area string) Report {
 		return Report{
 			Schema:   Schema,
@@ -690,13 +794,17 @@ func Run(opts Options) (dispatchReport, pipelineReport Report) {
 	}
 	dr := newReport("dispatch")
 	pr := newReport("pipeline")
+	sr := newReport("store")
 	for _, sc := range registry {
 		if opts.Scenario != "" && sc.name != opts.Scenario {
 			continue
 		}
 		rep := &dr
-		if sc.area == "pipeline" {
+		switch sc.area {
+		case "pipeline":
 			rep = &pr
+		case "store":
+			rep = &sr
 		}
 		sc.run(opts, func(res Result) {
 			cell := res.Path
@@ -712,7 +820,7 @@ func Run(opts Options) (dispatchReport, pipelineReport Report) {
 			rep.Results = append(rep.Results, res)
 		})
 	}
-	return dr, pr
+	return dr, pr, sr
 }
 
 // Validate checks a report against the schema and the 0-alloc bars.
@@ -797,27 +905,27 @@ func Compare(baseline, current Report) []Delta {
 }
 
 // WriteReports runs the sweep, validates the resulting reports and
-// writes BENCH_dispatch.json and BENCH_pipeline.json into opts.OutDir,
-// returning the two file paths. With Options.Scenario set, the area the
-// scenario does not feed produces no results; that report is skipped
-// (its returned path is empty) rather than overwriting a committed full
-// report with an empty one.
-func WriteReports(opts Options) (dispatchPath, pipelinePath string, err error) {
+// writes BENCH_dispatch.json, BENCH_pipeline.json and BENCH_store.json
+// into opts.OutDir, returning the three file paths. With
+// Options.Scenario set, the areas the scenario does not feed produce no
+// results; those reports are skipped (their returned paths are empty)
+// rather than overwriting a committed full report with an empty one.
+func WriteReports(opts Options) (dispatchPath, pipelinePath, storePath string, err error) {
 	if opts.Scenario != "" {
 		if _, ok := scenarioByName(opts.Scenario); !ok {
 			var names []string
 			for _, sc := range registry {
 				names = append(names, sc.name)
 			}
-			return "", "", fmt.Errorf("unknown scenario %q (have %v)", opts.Scenario, names)
+			return "", "", "", fmt.Errorf("unknown scenario %q (have %v)", opts.Scenario, names)
 		}
 	}
 	if opts.OutDir != "" {
 		if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
-			return "", "", err
+			return "", "", "", err
 		}
 	}
-	dr, pr := Run(opts)
+	dr, pr, sr := Run(opts)
 	write := func(name string, r Report) (string, error) {
 		if opts.Scenario != "" && len(r.Results) == 0 {
 			return "", nil
@@ -833,10 +941,13 @@ func WriteReports(opts Options) (dispatchPath, pipelinePath string, err error) {
 		return path, os.WriteFile(path, append(data, '\n'), 0o644)
 	}
 	if dispatchPath, err = write("BENCH_dispatch.json", dr); err != nil {
-		return "", "", err
+		return "", "", "", err
 	}
 	if pipelinePath, err = write("BENCH_pipeline.json", pr); err != nil {
-		return "", "", err
+		return "", "", "", err
 	}
-	return dispatchPath, pipelinePath, nil
+	if storePath, err = write("BENCH_store.json", sr); err != nil {
+		return "", "", "", err
+	}
+	return dispatchPath, pipelinePath, storePath, nil
 }

@@ -6,9 +6,9 @@ import (
 	"testing"
 )
 
-// TestWriteReportsQuick runs the quick sweep end to end: both reports
-// must validate (which enforces the 0-alloc paths), serialise to the
-// stable schema and cover every hot path.
+// TestWriteReportsQuick runs the quick sweep end to end: all three
+// reports must validate (which enforces the 0-alloc paths), serialise
+// to the stable schema and cover every hot path.
 func TestWriteReportsQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("perf sweep in -short mode")
@@ -17,18 +17,21 @@ func TestWriteReportsQuick(t *testing.T) {
 		t.Skip("race runtime drops sync.Pool puts, failing the 0-alloc bars")
 	}
 	dir := t.TempDir()
-	dp, pp, err := WriteReports(Options{Quick: true, OutDir: dir})
+	dp, pp, sp, err := WriteReports(Options{Quick: true, OutDir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The expected path set per report is derived from the scenario
 	// registry, never duplicated as literals: the registry is the single
 	// source of truth for what a sweep runs.
-	wantPaths := map[string]map[string]bool{dp: {}, pp: {}}
+	wantPaths := map[string]map[string]bool{dp: {}, pp: {}, sp: {}}
 	for _, sc := range Scenarios() {
 		file := dp
-		if sc.Area == "pipeline" {
+		switch sc.Area {
+		case "pipeline":
 			file = pp
+		case "store":
+			file = sp
 		}
 		wantPaths[file][sc.Name] = true
 	}
@@ -78,6 +81,8 @@ func TestScenarioRegistry(t *testing.T) {
 		{"store_tee", "pipeline", true},
 		{"store_append_batch", "pipeline", true},
 		{"control_submit", "pipeline", true},
+		{"store_archive_spill", "store", true},
+		{"store_archive_range", "store", false},
 	}
 	got := Scenarios()
 	if len(got) != len(want) {
@@ -99,14 +104,14 @@ func TestScenarioRegistry(t *testing.T) {
 	if _, ok := scenarioByName("no_such_scenario"); ok {
 		t.Fatal("unknown scenario name resolved")
 	}
-	if _, _, err := WriteReports(Options{Scenario: "no_such_scenario"}); err == nil {
+	if _, _, _, err := WriteReports(Options{Scenario: "no_such_scenario"}); err == nil {
 		t.Fatal("WriteReports accepted an unknown -scenario name")
 	}
 }
 
 // TestScenarioFilter runs one registry scenario through the -scenario
-// path: only that scenario's cells may appear, and the other area's
-// report must not be written at all.
+// path: only that scenario's cells may appear, and the other areas'
+// reports must not be written at all.
 func TestScenarioFilter(t *testing.T) {
 	if testing.Short() {
 		t.Skip("perf sweep in -short mode")
@@ -115,12 +120,15 @@ func TestScenarioFilter(t *testing.T) {
 		t.Skip("race runtime drops sync.Pool puts, failing the 0-alloc bars")
 	}
 	dir := t.TempDir()
-	dp, pp, err := WriteReports(Options{Quick: true, OutDir: dir, Scenario: "ring_enqueue_drain"})
+	dp, pp, sp, err := WriteReports(Options{Quick: true, OutDir: dir, Scenario: "ring_enqueue_drain"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pp != "" {
 		t.Fatalf("pipeline report written (%q) for a dispatch-area scenario", pp)
+	}
+	if sp != "" {
+		t.Fatalf("store report written (%q) for a dispatch-area scenario", sp)
 	}
 	data, err := os.ReadFile(dp)
 	if err != nil {

@@ -1,0 +1,451 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/garnet-middleware/garnet/internal/store/codec"
+	"github.com/garnet-middleware/garnet/internal/wire"
+)
+
+func sid(t *testing.T, sensor uint32, idx int) wire.StreamID {
+	t.Helper()
+	id, err := wire.NewStreamID(wire.SensorID(sensor), wire.StreamIndex(idx))
+	if err != nil {
+		t.Fatalf("stream id: %v", err)
+	}
+	return id
+}
+
+func blk(firstSeq, lastSeq uint64, fill byte, n int) (Ref, []byte) {
+	data := bytes.Repeat([]byte{fill}, n)
+	return Ref{
+		Codec:    codec.IDRaw,
+		FirstSeq: firstSeq,
+		LastSeq:  lastSeq,
+		Count:    int32(lastSeq - firstSeq + 1),
+		RawBytes: int64(n) * 2,
+		Bytes:    int64(n),
+		LastUnix: int64(lastSeq) * 1e9,
+	}, data
+}
+
+// openBoth builds a fresh Mem and FS backend and runs the test against
+// each — the contract is backend-independent.
+func openBoth(t *testing.T, run func(t *testing.T, b Backend)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) { run(t, NewMem()) })
+	t.Run("fs", func(t *testing.T) {
+		f, err := OpenFS(t.TempDir())
+		if err != nil {
+			t.Fatalf("OpenFS: %v", err)
+		}
+		defer f.Close()
+		run(t, f)
+	})
+}
+
+func TestBackendContract(t *testing.T) {
+	openBoth(t, func(t *testing.T, b Backend) {
+		a, bb := sid(t, 7, 0), sid(t, 7, 1)
+
+		if _, err := b.Open(nil, a, 99); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Open on empty backend: %v, want ErrNotFound", err)
+		}
+
+		blocks := []struct {
+			first, last uint64
+			fill        byte
+			n           int
+		}{{10, 19, 0xAA, 64}, {20, 29, 0xBB, 32}, {30, 39, 0xCC, 48}}
+		for _, bl := range blocks {
+			ref, data := blk(bl.first, bl.last, bl.fill, bl.n)
+			if err := b.Append(a, ref, data); err != nil {
+				t.Fatalf("Append(%d): %v", bl.last, err)
+			}
+		}
+		refB, dataB := blk(100, 105, 0xDD, 16)
+		if err := b.Append(bb, refB, dataB); err != nil {
+			t.Fatalf("Append(b): %v", err)
+		}
+
+		// Open round-trips exact bytes and preserves the dst prefix.
+		for _, bl := range blocks {
+			_, want := blk(bl.first, bl.last, bl.fill, bl.n)
+			got, err := b.Open([]byte("prefix"), a, bl.last)
+			if err != nil {
+				t.Fatalf("Open(%d): %v", bl.last, err)
+			}
+			if !bytes.Equal(got[:6], []byte("prefix")) || !bytes.Equal(got[6:], want) {
+				t.Fatalf("Open(%d): round-trip mismatch (%d bytes)", bl.last, len(got))
+			}
+		}
+		if _, err := b.Open(nil, a, 25); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Open(25) hits no block boundary: %v, want ErrNotFound", err)
+		}
+
+		st, err := b.List(a)
+		if err != nil {
+			t.Fatalf("List: %v", err)
+		}
+		if st.Floor != 0 || len(st.Refs) != 3 {
+			t.Fatalf("List = floor %d, %d refs, want 0, 3", st.Floor, len(st.Refs))
+		}
+		for i, bl := range blocks {
+			want, _ := blk(bl.first, bl.last, bl.fill, bl.n)
+			if st.Refs[i] != want {
+				t.Fatalf("ref %d = %+v, want %+v", i, st.Refs[i], want)
+			}
+		}
+
+		var visited []wire.StreamID
+		if err := b.Streams(func(ss StreamState) error {
+			visited = append(visited, ss.Stream)
+			return nil
+		}); err != nil {
+			t.Fatalf("Streams: %v", err)
+		}
+		if len(visited) != 2 || visited[0] != a || visited[1] != bb {
+			t.Fatalf("Streams visited %v, want [%v %v]", visited, a, bb)
+		}
+
+		// DeleteBefore removes whole blocks with LastSeq < upto and
+		// persists the floor; a straddled block (25 is inside 20..29)
+		// survives with the floor recording the logical cut.
+		if err := b.DeleteBefore(a, 25); err != nil {
+			t.Fatalf("DeleteBefore: %v", err)
+		}
+		st, _ = b.List(a)
+		if st.Floor != 25 || len(st.Refs) != 2 || st.Refs[0].LastSeq != 29 {
+			t.Fatalf("after DeleteBefore(25): floor %d, %d refs, head last %d", st.Floor, len(st.Refs), st.Refs[0].LastSeq)
+		}
+		if _, err := b.Open(nil, a, 19); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Open(19) after delete: %v, want ErrNotFound", err)
+		}
+
+		// The floor only advances.
+		if err := b.DeleteBefore(a, 20); err != nil {
+			t.Fatalf("DeleteBefore(20): %v", err)
+		}
+		if st, _ = b.List(a); st.Floor != 25 {
+			t.Fatalf("floor went backwards: %d", st.Floor)
+		}
+
+		if err := b.Forget(bb); err != nil {
+			t.Fatalf("Forget: %v", err)
+		}
+		if st, _ = b.List(bb); st.Floor != 0 || len(st.Refs) != 0 {
+			t.Fatalf("forgotten stream still lists %+v", st)
+		}
+		if _, err := b.Open(nil, bb, 105); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Open on forgotten stream: %v, want ErrNotFound", err)
+		}
+	})
+}
+
+// TestFSReopen pins the recovery contract: a re-opened directory serves
+// exactly the state the closed one held — blocks, floors, forgets — and
+// accepts further appends.
+func TestFSReopen(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OpenFS(dir)
+	if err != nil {
+		t.Fatalf("OpenFS: %v", err)
+	}
+	a, bb := sid(t, 3, 0), sid(t, 900, 2) // different fs shards, most likely
+	ref1, data1 := blk(10, 19, 0x11, 40)
+	ref2, data2 := blk(20, 29, 0x22, 40)
+	refB, dataB := blk(5, 9, 0x33, 24)
+	for _, ap := range []struct {
+		id   wire.StreamID
+		ref  Ref
+		data []byte
+	}{{a, ref1, data1}, {a, ref2, data2}, {bb, refB, dataB}} {
+		if err := f.Append(ap.id, ap.ref, ap.data); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := f.DeleteBefore(a, 15); err != nil {
+		t.Fatalf("DeleteBefore: %v", err)
+	}
+	if err := f.Forget(bb); err != nil {
+		t.Fatalf("Forget: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	g, err := OpenFS(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	st, _ := g.List(a)
+	if st.Floor != 15 || len(st.Refs) != 2 {
+		t.Fatalf("recovered: floor %d, %d refs, want 15, 2", st.Floor, len(st.Refs))
+	}
+	got, err := g.Open(nil, a, 19)
+	if err != nil || !bytes.Equal(got, data1) {
+		t.Fatalf("recovered Open(19): %v (%d bytes)", err, len(got))
+	}
+	if st, _ = g.List(bb); len(st.Refs) != 0 {
+		t.Fatalf("forget did not survive reopen: %+v", st)
+	}
+
+	// The recovered backend keeps appending where the old one stopped.
+	ref3, data3 := blk(30, 39, 0x44, 40)
+	if err := g.Append(a, ref3, data3); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	h, err := OpenFS(dir)
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer h.Close()
+	got, err = h.Open(nil, a, 39)
+	if err != nil || !bytes.Equal(got, data3) {
+		t.Fatalf("Open(39) after second recovery: %v", err)
+	}
+}
+
+// TestFSTruncatedSegment kills a deployment mid-spill: the newest block's
+// segment bytes are torn off while its manifest record survived. Recovery
+// must serve every complete block, report the torn ref, and never panic —
+// and appending over the dead extent must work.
+func TestFSTruncatedSegment(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OpenFS(dir)
+	if err != nil {
+		t.Fatalf("OpenFS: %v", err)
+	}
+	a := sid(t, 12, 0)
+	ref1, data1 := blk(10, 19, 0x5A, 50)
+	ref2, data2 := blk(20, 29, 0x6B, 50)
+	ref3, data3 := blk(30, 39, 0x7C, 50)
+	for _, ap := range []struct {
+		ref  Ref
+		data []byte
+	}{{ref1, data1}, {ref2, data2}, {ref3, data3}} {
+		if err := f.Append(a, ap.ref, ap.data); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	f.Close()
+
+	seg := filepath.Join(dir, segName(fsShardOf(a)))
+	st, err := os.Stat(seg)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if err := os.Truncate(seg, st.Size()-7); err != nil { // tear into block 3
+		t.Fatalf("truncate: %v", err)
+	}
+
+	// The read-only inspection view of the crashed directory reports the
+	// torn ref before anything heals it.
+	rep, err := ScanFS(dir)
+	if err != nil {
+		t.Fatalf("ScanFS: %v", err)
+	}
+	torn := 0
+	for _, sr := range rep.Shards {
+		torn += sr.TornRefs
+	}
+	if torn != 1 {
+		t.Fatalf("ScanFS reports %d torn refs, want 1", torn)
+	}
+
+	g, err := OpenFS(dir)
+	if err != nil {
+		t.Fatalf("recover from torn segment: %v", err)
+	}
+	ls, _ := g.List(a)
+	if len(ls.Refs) != 2 || ls.Refs[1].LastSeq != 29 {
+		t.Fatalf("recovered %d refs (last %d), want the 2 complete blocks", len(ls.Refs), ls.Refs[len(ls.Refs)-1].LastSeq)
+	}
+	if _, err := g.Open(nil, a, 39); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn block still opens: %v", err)
+	}
+	if got, err := g.Open(nil, a, 29); err != nil || !bytes.Equal(got, data2) {
+		t.Fatalf("complete block 2 lost: %v", err)
+	}
+
+	// The dead extent is overwritten by the next spill, no gap — and the
+	// healed manifest must not resurrect the torn record as a duplicate
+	// ref now that live bytes sit under its extent again.
+	if err := g.Append(a, ref3, data3); err != nil {
+		t.Fatalf("Append over dead extent: %v", err)
+	}
+	g.Close()
+	h, err := OpenFS(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer h.Close()
+	ls, _ = h.List(a)
+	if len(ls.Refs) != 3 {
+		t.Fatalf("after re-spill: %d refs, want exactly 3 (torn record must not resurrect)", len(ls.Refs))
+	}
+	if got, err := h.Open(nil, a, 39); err != nil || !bytes.Equal(got, data3) {
+		t.Fatalf("re-spilled block: %v", err)
+	}
+}
+
+// TestFSTruncatedManifest kills the deployment mid-manifest-write: the
+// torn trailing record (and only it) is discarded.
+func TestFSTruncatedManifest(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OpenFS(dir)
+	if err != nil {
+		t.Fatalf("OpenFS: %v", err)
+	}
+	a := sid(t, 4, 3)
+	ref1, data1 := blk(10, 19, 0x10, 30)
+	ref2, data2 := blk(20, 29, 0x20, 30)
+	if err := f.Append(a, ref1, data1); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := f.Append(a, ref2, data2); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	f.Close()
+
+	log := filepath.Join(dir, logName(fsShardOf(a)))
+	st, err := os.Stat(log)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if err := os.Truncate(log, st.Size()-5); err != nil { // tear into record 2
+		t.Fatalf("truncate: %v", err)
+	}
+
+	rep, err := ScanFS(dir)
+	if err != nil {
+		t.Fatalf("ScanFS: %v", err)
+	}
+	tornShards := 0
+	for _, sr := range rep.Shards {
+		if sr.TornManifest {
+			tornShards++
+		}
+	}
+	if tornShards != 1 {
+		t.Fatalf("ScanFS reports %d torn manifests, want 1", tornShards)
+	}
+
+	g, err := OpenFS(dir)
+	if err != nil {
+		t.Fatalf("recover from torn manifest: %v", err)
+	}
+	defer g.Close()
+	ls, _ := g.List(a)
+	if len(ls.Refs) != 1 || ls.Refs[0].LastSeq != 19 {
+		t.Fatalf("recovered %d refs, want only the committed block", len(ls.Refs))
+	}
+	if got, err := g.Open(nil, a, 19); err != nil || !bytes.Equal(got, data1) {
+		t.Fatalf("committed block lost: %v", err)
+	}
+	// The torn tail is overwritten cleanly by the next manifest record,
+	// with no duplicate once the block is re-spilled.
+	if err := g.Append(a, ref2, data2); err != nil {
+		t.Fatalf("Append after torn manifest: %v", err)
+	}
+	if ls, _ = g.List(a); len(ls.Refs) != 2 {
+		t.Fatalf("after re-spill: %d refs, want 2", len(ls.Refs))
+	}
+}
+
+// TestFSCorruptManifestRecord flips a byte inside a committed record: the
+// CRC frame must stop replay there (losing the tail) without a panic.
+func TestFSCorruptManifestRecord(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OpenFS(dir)
+	if err != nil {
+		t.Fatalf("OpenFS: %v", err)
+	}
+	a := sid(t, 21, 1)
+	for i := uint64(0); i < 3; i++ {
+		ref, data := blk(10+10*i, 19+10*i, byte(i), 30)
+		if err := f.Append(a, ref, data); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	f.Close()
+
+	log := filepath.Join(dir, logName(fsShardOf(a)))
+	raw, err := os.ReadFile(log)
+	if err != nil {
+		t.Fatalf("read log: %v", err)
+	}
+	raw[recAddLen+10] ^= 0xFF // corrupt the second record's body
+	if err := os.WriteFile(log, raw, 0o644); err != nil {
+		t.Fatalf("write log: %v", err)
+	}
+
+	g, err := OpenFS(dir)
+	if err != nil {
+		t.Fatalf("recover from corrupt manifest: %v", err)
+	}
+	defer g.Close()
+	ls, _ := g.List(a)
+	if len(ls.Refs) != 1 || ls.Refs[0].LastSeq != 19 {
+		t.Fatalf("recovered %d refs, want 1 (replay stops at the corrupt record)", len(ls.Refs))
+	}
+}
+
+// TestScanFSReport pins the inspection view: per-shard record counts and
+// committed extents, per-stream ranges and sizes.
+func TestScanFSReport(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OpenFS(dir)
+	if err != nil {
+		t.Fatalf("OpenFS: %v", err)
+	}
+	a := sid(t, 5, 0)
+	ref1, data1 := blk(100, 149, 0xAB, 80)
+	ref2, data2 := blk(150, 199, 0xCD, 70)
+	if err := f.Append(a, ref1, data1); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := f.Append(a, ref2, data2); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	f.Close()
+
+	rep, err := ScanFS(dir)
+	if err != nil {
+		t.Fatalf("ScanFS: %v", err)
+	}
+	if len(rep.Shards) != FSShards {
+		t.Fatalf("%d shard reports, want %d", len(rep.Shards), FSShards)
+	}
+	sh := rep.Shards[fsShardOf(a)]
+	if sh.Records != 2 || sh.TornManifest || sh.TornRefs != 0 || sh.Committed != 150 || sh.SegBytes != 150 {
+		t.Fatalf("shard report %+v, want 2 records, committed/seg 150", sh)
+	}
+	if len(rep.Streams) != 1 {
+		t.Fatalf("%d stream reports, want 1", len(rep.Streams))
+	}
+	sr := rep.Streams[0]
+	if sr.Stream != a || sr.Blocks != 2 || sr.FirstSeq != 100 || sr.LastSeq != 199 ||
+		sr.Count != 100 || sr.Bytes != 150 || sr.RawBytes != 300 {
+		t.Fatalf("stream report %+v", sr)
+	}
+
+	// ScanFS of a missing directory reports empty shards, not an error —
+	// the inspect tool must cope with a fresh deployment.
+	rep, err = ScanFS(filepath.Join(dir, "nope"))
+	if err != nil {
+		t.Fatalf("ScanFS(missing): %v", err)
+	}
+	for _, sr := range rep.Shards {
+		if sr.Records != 0 || sr.SegBytes != 0 {
+			t.Fatalf("missing dir scans non-empty: %+v", sr)
+		}
+	}
+}

@@ -172,14 +172,18 @@ func (rs *refStore) evictTo(id wire.StreamID, upto uint64) int {
 	return n
 }
 
-// forget mirrors Store.Forget: drop the stream entirely. Returns dropped.
+// forget mirrors Store.Forget: drop every retained entry but keep the
+// sequence-unwrap state — like the store's ring header, it survives so a
+// resumed stream's addresses never move backwards — and reset the window
+// span, like the re-materialised minimum ring. Returns dropped.
 func (rs *refStore) forget(id wire.StreamID) int {
 	r, ok := rs.streams[id]
 	if !ok {
 		return 0
 	}
 	n := len(r.frozen) + len(r.entries)
-	delete(rs.streams, id)
+	r.frozen, r.entries = nil, nil
+	r.span = minRingSize
 	return n
 }
 

@@ -44,6 +44,7 @@ import (
 
 	"github.com/garnet-middleware/garnet/internal/filtering"
 	"github.com/garnet-middleware/garnet/internal/metrics"
+	"github.com/garnet-middleware/garnet/internal/store/archive"
 	"github.com/garnet-middleware/garnet/internal/store/codec"
 	"github.com/garnet-middleware/garnet/internal/wire"
 )
@@ -118,18 +119,54 @@ type Options struct {
 	// BlockSize is the number of deliveries sealed per cold block; <= 0
 	// selects DefaultBlockSize.
 	BlockSize int
+
+	// Archive enables the durable archive tier: cold blocks the
+	// compressed-bytes budget would drop are spilled to this backend
+	// instead, and the read path stitches them back transparently —
+	// archive → cold → hot, one ascending sequence. Archiving requires
+	// the cold tier; when Codec is empty it defaults to "auto". nil
+	// disables the tier (budget overruns drop, the pre-archive
+	// behaviour). At construction the store recovers the backend's
+	// manifest and serves archived history for streams it has never
+	// seen live.
+	Archive archive.Backend
+	// ArchiveSync spills synchronously under the shard lock instead of
+	// through the per-shard archiver goroutines: appends pay the
+	// backend's write latency, but shutdown needs no drain and tests
+	// are deterministic.
+	ArchiveSync bool
+	// ArchiveQueue bounds each shard's async spill queue; <= 0 selects
+	// DefaultArchiveQueue. A full queue falls back to a synchronous
+	// drain (counted in Stats.ArchiveSyncSpills) — backpressure slows
+	// appenders, it never drops history.
+	ArchiveQueue int
+	// ArchiveMaxAge drops archived blocks whose newest entry is older
+	// than this relative to the newest archived entry (append-side
+	// eviction, deterministic on virtual clocks); <= 0 means unbounded.
+	ArchiveMaxAge time.Duration
+	// ArchiveMaxBytes bounds the archived compressed bytes per stream;
+	// the oldest blocks are dropped (Stats.EvictedArchive) past it.
+	// <= 0 means unbounded. The newest block always survives.
+	ArchiveMaxBytes int64
 }
 
 // Stats is an aggregate snapshot summed across shards. The counters obey
 //
-//	RetainedMessages == Appended − Duplicates − DroppedBehind −
-//	    EvictedCount − EvictedBytes − EvictedAge − EvictedCold − Forgotten
+//	RetainedMessages + ArchivedMessages − ArchiveRecovered ==
+//	    Appended − Duplicates − DroppedBehind −
+//	    EvictedCount − EvictedBytes − EvictedAge − EvictedCold −
+//	    EvictedArchive − ArchiveFailed − Forgotten
 //
-// on every snapshot: each appended delivery is either still retained or
-// accounted to exactly one of the loss reasons. With compression enabled
-// the Evicted{Count,Bytes,Age} counters stay at zero — those evictions
-// seal into the cold tier instead — and EvictedCold takes over as the
-// only capacity-driven loss.
+// on every snapshot: each appended delivery is either still held (in
+// memory or durably archived) or accounted to exactly one of the loss
+// reasons; ArchiveRecovered discounts history inherited from a previous
+// process's manifest, which was never appended in this one. With
+// compression enabled the Evicted{Count,Bytes,Age} counters stay at
+// zero — those evictions seal into the cold tier instead — and
+// EvictedCold takes over as the only capacity-driven loss; with an
+// archive backend attached EvictedCold stays at zero too — budget
+// overruns spill — leaving EvictedArchive (retention policy) and
+// ArchiveFailed (backend write errors) as the only capacity losses.
 type Stats struct {
 	Appended      int64 // deliveries handed to Append
 	Duplicates    int64 // re-appends of an already retained sequence (replaced in place)
@@ -156,6 +193,33 @@ type Stats struct {
 	ColdBlocks   int
 	ColdBytes    int64
 	ColdRawBytes int64
+
+	// Archive-tier counters, zero when no backend is attached.
+	EvictedArchive      int64 // dropped from the archive by WithArchiveRetention bounds
+	ArchiveFailed       int64 // lost to backend append errors
+	ArchiveRecovered    int64 // recovered from the backend's manifest at construction
+	ArchiveSyncSpills   int64 // blocks spilled synchronously by the queue-full fallback
+	ArchiveReadMessages int64 // entries decoded from archived blocks by reads (read amplification numerator)
+
+	// Archive-tier gauges: durable blocks live right now, their
+	// encoded/raw bytes (RawBytes/Bytes is the archived compression
+	// ratio), blocks spilled but not yet committed by the archiver
+	// (their entries still count as retained), and the spill-queue
+	// occupancy across shards.
+	ArchivedBlocks       int64
+	ArchivedMessages     int64
+	ArchivedBytes        int64
+	ArchivedRawBytes     int64
+	ArchivePendingBlocks int64
+	ArchiveQueueDepth    int
+
+	// Archive backend latency percentiles in milliseconds (exact order
+	// statistics over every spill write / block read so far); zero when
+	// nothing has been observed.
+	ArchiveWriteP50Ms float64
+	ArchiveWriteP99Ms float64
+	ArchiveReadP50Ms  float64
+	ArchiveReadP99Ms  float64
 
 	Codec   string // configured codec name, "" when compression is off
 	Streams int    // streams currently holding at least one delivery
@@ -189,6 +253,18 @@ type StreamStats struct {
 	ColdMessages int
 	ColdBytes    int64 // compressed bytes held
 	ColdRawBytes int64 // payload bytes those blocks represent
+
+	// Archive-tier view, zero when no backend is attached or nothing
+	// has spilled. Archived entries are durable, not resident: they are
+	// excluded from Count/Bytes/ResidentBytes but included in the
+	// FirstSeq..LastSeq replayable window. ArchivedRawBytes divided by
+	// ArchivedBytes is the stream's archived compression ratio.
+	ArchivedBlocks   int
+	ArchivedMessages int
+	ArchivedBytes    int64 // encoded bytes in the backend
+	ArchivedRawBytes int64 // payload bytes those blocks represent
+	ArchivePending   int   // spilled blocks not yet committed by the archiver
+	ArchiveFloor     uint64
 }
 
 // Store is the Stream Store.
@@ -203,11 +279,15 @@ type Store struct {
 	codecName  string
 	coldBudget int64
 	blockSize  int
+
+	// Archive tier; nil when no backend is attached.
+	arch *archiveState
 }
 
 type shard struct {
 	mu      sync.Mutex
 	streams map[wire.StreamID]*ring
+	idx     int
 
 	// Single-entry lookup cache, same trick as the filter: sensors emit
 	// runs on one stream, so the common append skips the map hash.
@@ -229,6 +309,20 @@ type shard struct {
 
 	retainedMessages metrics.Gauge
 	retainedBytes    metrics.Gauge
+
+	// Archive tier: per-stream archived state (nil map when the tier is
+	// off) and its counters, plain ints under mu like the rest.
+	archived         map[wire.StreamID]*archStream
+	archivedBlocks   int64
+	archivedMsgs     int64
+	archivedBytes    int64
+	archivedRaw      int64
+	pendingBlocks    int64
+	evictedArchive   int64
+	archiveFailed    int64
+	spillSync        int64
+	archiveRecovered int64
+	archiveReadMsgs  int64
 
 	// freeBufs recycles encoded-block buffers across streams so sealing
 	// allocates nothing at steady state.
@@ -321,17 +415,24 @@ type coldBlock struct {
 	lastSeq  uint64
 	count    int
 	rawBytes int64 // payload bytes sealed inside
+	lastUnix int64 // At of the newest entry, unix nanos (archive age retention)
 	data     []byte
 }
 
 // New creates a Store. It panics when Options.Codec names an unknown
-// codec.
+// codec or when the archive backend's manifest cannot be recovered — a
+// deployment must not come up silently blind to its own history.
 func New(opts Options) *Store {
 	if opts.Shards <= 0 {
 		opts.Shards = DefaultShards
 	}
 	if opts.MaxMessages <= 0 {
 		opts.MaxMessages = DefaultMaxMessages
+	}
+	if opts.Archive != nil && opts.Codec == "" {
+		// The archive files sealed compressed blocks; attaching a
+		// backend implies the cold tier.
+		opts.Codec = "auto"
 	}
 	s := &Store{
 		opts:     opts,
@@ -362,7 +463,11 @@ func New(opts Options) *Store {
 	for i := range s.shards {
 		sh := &backing[i].shard
 		sh.streams = make(map[wire.StreamID]*ring)
+		sh.idx = i
 		s.shards[i] = sh
+	}
+	if opts.Archive != nil {
+		s.initArchive(opts)
 	}
 	return s
 }
@@ -445,8 +550,20 @@ func (s *Store) appendLocked(sh *shard, d filtering.Delivery) uint64 {
 		r.slots = make([]filtering.Delivery, minRingSize)
 	}
 
-	// Unwrap the 16-bit wire sequence into the 64-bit address space.
+	// Unwrap the 16-bit wire sequence into the 64-bit address space. A
+	// stream first seen through recovered archived history resumes
+	// addressing where that history ends: the unwrap construction keeps
+	// ext ≡ wire seq (mod 2¹⁶), so the archived last sequence is also
+	// valid unwrap state and the live stream continues the same
+	// monotone address space its archive uses.
 	var ext uint64
+	if r.lastExt == 0 && sh.archived != nil {
+		if as := sh.archived[d.Msg.Stream]; as != nil {
+			if last := as.lastSeqLocked(); last > 0 {
+				r.lastExt, r.lastWire = last, wire.Seq(last)
+			}
+		}
+	}
 	if r.lastExt == 0 {
 		ext = extBase + uint64(d.Msg.Seq)
 	} else {
@@ -462,6 +579,14 @@ func (s *Store) appendLocked(sh *shard, d filtering.Delivery) uint64 {
 	}
 
 	if r.count == 0 {
+		// With the in-memory window empty the archive tier is the
+		// window: addresses at or below its end arrived behind it.
+		if sh.archived != nil {
+			if as := sh.archived[d.Msg.Stream]; as != nil && ext <= as.lastSeqLocked() {
+				sh.droppedBehind++
+				return ext
+			}
+		}
 		r.minExt, r.maxExt = ext, ext
 	} else if ext > r.maxExt {
 		// Advancing the window high end may push old entries out of the
@@ -473,7 +598,7 @@ func (s *Store) appendLocked(sh *shard, d filtering.Delivery) uint64 {
 		if span := uint64(len(r.slots)); ext-r.minExt >= span {
 			target := ext - span + 1
 			for r.count > 0 && r.oldestLocked() < target {
-				s.retireLowestLocked(sh, r, &sh.evictedCount)
+				s.retireLowestLocked(sh, r, d.Msg.Stream, &sh.evictedCount)
 			}
 			if r.count > 0 && r.minExt < target {
 				r.minExt = target
@@ -512,11 +637,11 @@ func (s *Store) appendLocked(sh *shard, d filtering.Delivery) uint64 {
 	// instead of dropping, so the hot bounds govern only the uncompressed
 	// working set.
 	for int(r.count) > s.opts.MaxMessages {
-		s.retireLowestLocked(sh, r, &sh.evictedCount)
+		s.retireLowestLocked(sh, r, d.Msg.Stream, &sh.evictedCount)
 	}
 	if s.opts.MaxBytes > 0 {
 		for r.bytes > s.opts.MaxBytes && r.count > 1 {
-			s.retireLowestLocked(sh, r, &sh.evictedBytes)
+			s.retireLowestLocked(sh, r, d.Msg.Stream, &sh.evictedBytes)
 		}
 	}
 	if s.opts.MaxAge > 0 {
@@ -526,7 +651,7 @@ func (s *Store) appendLocked(sh *shard, d filtering.Delivery) uint64 {
 			if !old.At.Before(cutoff) {
 				break
 			}
-			s.retireLowestLocked(sh, r, &sh.evictedAge)
+			s.retireLowestLocked(sh, r, d.Msg.Stream, &sh.evictedAge)
 		}
 	}
 	return ext
@@ -564,12 +689,12 @@ func (r *ring) oldestLocked() uint64 {
 // compression off it is evicted outright and credited to *reason; with
 // compression on it is sealed into the cold tier and stays retained, so
 // no eviction counter moves. Caller holds mu.
-func (s *Store) retireLowestLocked(sh *shard, r *ring, reason *int64) {
+func (s *Store) retireLowestLocked(sh *shard, r *ring, id wire.StreamID, reason *int64) {
 	if s.picker == nil {
 		sh.dropLowestLocked(r, reason)
 		return
 	}
-	s.sealLowestLocked(sh, r)
+	s.sealLowestLocked(sh, r, id)
 }
 
 // dropLowestLocked removes the oldest retained hot entry, crediting the
@@ -596,7 +721,7 @@ func (sh *shard) dropLowestLocked(r *ring, reason *int64) {
 // stage element so neither side allocates. A full stage seals into one
 // compressed block. The entry stays retained throughout — the shard
 // gauges do not move. Caller holds mu.
-func (s *Store) sealLowestLocked(sh *shard, r *ring) {
+func (s *Store) sealLowestLocked(sh *shard, r *ring, id wire.StreamID) {
 	if r.stage == nil {
 		r.stage = make([]filtering.Delivery, 0, s.blockSize)
 	}
@@ -617,14 +742,14 @@ func (s *Store) sealLowestLocked(sh *shard, r *ring) {
 		r.minExt, r.maxExt = 0, 0
 	}
 	if len(r.stage) == cap(r.stage) {
-		s.sealStageLocked(sh, r)
+		s.sealStageLocked(sh, r, id)
 	}
 }
 
 // sealStageLocked encodes the staged entries into one immutable cold
 // block (into a recycled buffer when one is parked) and enforces the
 // per-stream compressed-bytes budget. Caller holds mu.
-func (s *Store) sealStageLocked(sh *shard, r *ring) {
+func (s *Store) sealStageLocked(sh *shard, r *ring, id wire.StreamID) {
 	if len(r.stage) == 0 {
 		return
 	}
@@ -636,6 +761,7 @@ func (s *Store) sealStageLocked(sh *shard, r *ring) {
 		lastSeq:  r.stage[len(r.stage)-1].StoreSeq,
 		count:    len(r.stage),
 		rawBytes: r.stageBytes,
+		lastUnix: r.stage[len(r.stage)-1].At.UnixNano(),
 		data:     data,
 	}
 	r.cold = append(r.cold, b)
@@ -647,7 +773,11 @@ func (s *Store) sealStageLocked(sh *shard, r *ring) {
 	r.stage = r.stage[:0] // spare elements keep their payload buffers
 	r.stageBytes = 0
 	for len(r.cold) > 1 && r.coldBytes > s.coldBudget {
-		sh.dropOldestColdLocked(r, &sh.evictedCold)
+		if s.arch != nil {
+			s.spillOldestColdLocked(sh, r, id)
+		} else {
+			sh.dropOldestColdLocked(r, &sh.evictedCold)
+		}
 	}
 }
 
@@ -705,24 +835,43 @@ func (sh *shard) dropStagePrefixLocked(r *ring, k int, reason *int64) {
 
 // LastSeq returns the highest extended sequence ever assigned on the
 // stream (retained or not); ok is false when the store has never seen it.
+// A stream known only through recovered archived history answers from
+// the archive's end.
 func (s *Store) LastSeq(id wire.StreamID) (uint64, bool) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	r, ok := sh.streams[id]
 	if !ok || r.lastExt == 0 {
+		if sh.archived != nil {
+			if as := sh.archived[id]; as != nil {
+				if last := as.lastSeqLocked(); last > 0 {
+					return last, true
+				}
+			}
+		}
 		return 0, false
 	}
 	return r.lastExt, true
 }
 
-// FirstSeq returns the lowest retained extended sequence — in the cold
-// tier when blocks are sealed, else the hot window — ok is false when
-// nothing is retained.
+// FirstSeq returns the lowest retained extended sequence — in the
+// archive when blocks were spilled, the cold tier when blocks are
+// sealed, else the hot window — ok is false when nothing is retained.
 func (s *Store) FirstSeq(id wire.StreamID) (uint64, bool) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if sh.archived != nil {
+		if as := sh.archived[id]; as != nil {
+			switch {
+			case len(as.refs) > 0:
+				return as.refs[0].FirstSeq, true
+			case len(as.pending) > 0:
+				return as.pending[0].firstSeq, true
+			}
+		}
+	}
 	r, ok := sh.streams[id]
 	if !ok {
 		return 0, false
@@ -753,6 +902,7 @@ func (s *Store) OldestSince(id wire.StreamID, from uint64) (seq uint64, size int
 type decodeScratch struct {
 	sc      codec.Scratch
 	entries []filtering.Delivery
+	buf     []byte // archive block read buffer
 }
 
 var decodePool = sync.Pool{New: func() any { return new(decodeScratch) }}
@@ -852,6 +1002,13 @@ func (s *Store) RangeFunc(id wire.StreamID, from, to uint64, fn func(d filtering
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if sh.archived != nil {
+		if as := sh.archived[id]; as != nil {
+			if !s.visitArchiveLocked(sh, as, id, from, to, fn) {
+				return
+			}
+		}
+	}
 	r, ok := sh.streams[id]
 	if !ok {
 		return
@@ -882,14 +1039,55 @@ func (s *Store) WindowStats(id wire.StreamID, from, to uint64) (count int, bytes
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	r, ok := sh.streams[id]
-	if !ok {
-		return 0, 0
-	}
 	acc := func(d filtering.Delivery) bool {
 		count++
 		bytes += int64(len(d.Msg.Payload))
 		return true
+	}
+	if sh.archived != nil {
+		if as := sh.archived[id]; as != nil {
+			for i := range as.refs {
+				ref := &as.refs[i]
+				if ref.LastSeq < from {
+					continue
+				}
+				if ref.FirstSeq > to {
+					return count, bytes
+				}
+				if ref.FirstSeq >= from && ref.LastSeq <= to {
+					count += int(ref.Count)
+					bytes += ref.RawBytes
+					continue
+				}
+				s.visitArchivedBlockLocked(sh, id, ref, from, to, acc)
+			}
+			for bi := range as.pending {
+				b := &as.pending[bi]
+				if b.lastSeq < from {
+					continue
+				}
+				if b.firstSeq > to {
+					return count, bytes
+				}
+				if b.firstSeq >= from && b.lastSeq <= to {
+					count += b.count
+					bytes += b.rawBytes
+					continue
+				}
+				// A retention cut may leave dead prefix entries inside
+				// the block's physical bytes; the live firstSeq bounds
+				// what the decode may surface.
+				lo := from
+				if b.firstSeq > lo {
+					lo = b.firstSeq
+				}
+				visitColdLocked(b, id, lo, to, acc)
+			}
+		}
+	}
+	r, ok := sh.streams[id]
+	if !ok {
+		return count, bytes
 	}
 	for bi := range r.cold {
 		b := &r.cold[bi]
@@ -969,11 +1167,16 @@ func (s *Store) EvictTo(id wire.StreamID, upto uint64) int {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	before := sh.forgotten
+	if sh.archived != nil {
+		if as := sh.archived[id]; as != nil {
+			s.evictArchiveToLocked(sh, as, id, upto, &sh.forgotten)
+		}
+	}
 	r, ok := sh.streams[id]
 	if !ok {
-		return 0
+		return int(sh.forgotten - before)
 	}
-	before := sh.forgotten
 	for len(r.cold) > 0 && r.cold[0].lastSeq < upto {
 		sh.dropOldestColdLocked(r, &sh.forgotten)
 	}
@@ -1052,18 +1255,24 @@ func (s *Store) Forget(id wire.StreamID) int {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	n := 0
+	if sh.archived != nil {
+		if as := sh.archived[id]; as != nil {
+			n += s.forgetArchiveLocked(sh, as, id, &sh.forgotten)
+		}
+	}
 	r, ok := sh.streams[id]
 	if !ok {
-		return 0
+		return n
 	}
-	n := int(r.count) + len(r.stage) + int(r.coldCount)
+	n += int(r.count) + len(r.stage) + int(r.coldCount)
 	sh.evictAllLocked(r, &sh.forgotten)
 	r.slots, r.stage, r.cold = nil, nil, nil
 	return n
 }
 
-// Streams lists the ids of every stream holding at least one delivery,
-// sorted.
+// Streams lists the ids of every stream holding at least one delivery —
+// in the hot window or only in the archive tier — sorted.
 func (s *Store) Streams() []wire.StreamID {
 	var out []wire.StreamID
 	for _, sh := range s.shards {
@@ -1072,6 +1281,15 @@ func (s *Store) Streams() []wire.StreamID {
 			if r.count > 0 {
 				out = append(out, id)
 			}
+		}
+		for id, as := range sh.archived {
+			if len(as.refs) == 0 && len(as.pending) == 0 {
+				continue
+			}
+			if r, ok := sh.streams[id]; ok && r.count > 0 {
+				continue // already listed from the hot window
+			}
+			out = append(out, id)
 		}
 		sh.mu.Unlock()
 	}
@@ -1085,9 +1303,37 @@ func (s *Store) StreamStats(id wire.StreamID) (StreamStats, bool) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	var arch StreamStats
+	var as *archStream
+	if sh.archived != nil {
+		if as = sh.archived[id]; as != nil {
+			arch.ArchivedBlocks = len(as.refs)
+			arch.ArchivePending = len(as.pending)
+			arch.ArchiveFloor = as.floor
+			for i := range as.refs {
+				arch.ArchivedMessages += int(as.refs[i].Count)
+				arch.ArchivedBytes += as.refs[i].Bytes
+				arch.ArchivedRawBytes += as.refs[i].RawBytes
+			}
+		}
+	}
 	r, ok := sh.streams[id]
 	if !ok {
-		return StreamStats{}, false
+		if as == nil || (len(as.refs) == 0 && len(as.pending) == 0) {
+			return StreamStats{}, false
+		}
+		// Archive-only stream: recovered history with no live window yet.
+		st := arch
+		st.Stream = id
+		last := as.lastSeqLocked()
+		st.LastSeq = last
+		st.NextWire = wire.Seq(last) + 1
+		if len(as.refs) > 0 {
+			st.FirstSeq = as.refs[0].FirstSeq
+		} else {
+			st.FirstSeq = as.pending[0].firstSeq
+		}
+		return st, true
 	}
 	st := StreamStats{
 		Stream:       id,
@@ -1124,6 +1370,31 @@ func (s *Store) StreamStats(id wire.StreamID) (StreamStats, bool) {
 			st.FirstSeq = r.oldestLocked()
 		}
 	}
+	st.ArchivedBlocks = arch.ArchivedBlocks
+	st.ArchivedMessages = arch.ArchivedMessages
+	st.ArchivedBytes = arch.ArchivedBytes
+	st.ArchivedRawBytes = arch.ArchivedRawBytes
+	st.ArchivePending = arch.ArchivePending
+	st.ArchiveFloor = arch.ArchiveFloor
+	if as != nil {
+		// Pending-spill blocks left the cold slice but their entries are
+		// still retained until the backend commits them.
+		for bi := range as.pending {
+			st.Count += as.pending[bi].count
+			st.Bytes += as.pending[bi].rawBytes
+		}
+		switch {
+		case len(as.refs) > 0:
+			st.FirstSeq = as.refs[0].FirstSeq
+		case len(as.pending) > 0:
+			st.FirstSeq = as.pending[0].firstSeq
+		}
+		if r.count == 0 {
+			if last := as.lastSeqLocked(); last > st.LastSeq {
+				st.LastSeq = last
+			}
+		}
+	}
 	return st, true
 }
 
@@ -1156,7 +1427,30 @@ func (s *Store) Stats() Stats {
 		}
 		st.RetainedMessages += sh.retainedMessages.Value()
 		st.RetainedBytes += sh.retainedBytes.Value()
+		st.EvictedArchive += sh.evictedArchive
+		st.ArchiveFailed += sh.archiveFailed
+		st.ArchiveRecovered += sh.archiveRecovered
+		st.ArchiveSyncSpills += sh.spillSync
+		st.ArchiveReadMessages += sh.archiveReadMsgs
+		st.ArchivedBlocks += sh.archivedBlocks
+		st.ArchivedMessages += sh.archivedMsgs
+		st.ArchivedBytes += sh.archivedBytes
+		st.ArchivedRawBytes += sh.archivedRaw
+		st.ArchivePendingBlocks += sh.pendingBlocks
 		sh.mu.Unlock()
+	}
+	if s.arch != nil {
+		for _, q := range s.arch.queues {
+			st.ArchiveQueueDepth += q.Len()
+		}
+		if s.arch.writeLat.Count() > 0 {
+			st.ArchiveWriteP50Ms = s.arch.writeLat.Percentile(50)
+			st.ArchiveWriteP99Ms = s.arch.writeLat.Percentile(99)
+		}
+		if s.arch.readLat.Count() > 0 {
+			st.ArchiveReadP50Ms = s.arch.readLat.Percentile(50)
+			st.ArchiveReadP99Ms = s.arch.readLat.Percentile(99)
+		}
 	}
 	return st
 }
